@@ -1,0 +1,51 @@
+"""Benchmark E1 -- Figure 1: vecadd traces under four lws values.
+
+Regenerates the paper's Figure-1 study (vecadd, gws=128, 1c2w4t machine,
+lws in {1, 16, 32, 64}) with full tracing enabled, times it, and writes the
+rendered trace plots plus the per-lws cycle counts to
+``benchmarks/results/figure1.txt``.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import FIGURE1_LWS_VALUES, run_figure1
+
+from benchmarks.conftest import write_result
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_vecadd_trace_study(benchmark):
+    result = benchmark.pedantic(
+        run_figure1,
+        kwargs={"lws_values": FIGURE1_LWS_VALUES, "length": 128},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    cycles = {lws: trace.cycles for lws, trace in result.traces.items()}
+    calls = {lws: trace.num_calls for lws, trace in result.traces.items()}
+
+    # The paper's qualitative result: lws = gws/hp = 16 is the fastest mapping,
+    # lws=1 issues 16 sequential kernel calls, larger lws under-utilise the core.
+    assert result.best_local_size() == 16
+    assert calls[1] == 16 and calls[16] == 1
+    assert cycles[1] > cycles[16]
+    assert cycles[32] > cycles[16]
+    assert cycles[64] > cycles[32]
+
+    benchmark.extra_info["cycles_by_lws"] = cycles
+    benchmark.extra_info["calls_by_lws"] = calls
+    write_result("figure1.txt", result.render())
+
+
+@pytest.mark.benchmark(group="figure1")
+@pytest.mark.parametrize("lws", FIGURE1_LWS_VALUES)
+def test_figure1_single_mapping(benchmark, lws):
+    """Per-lws timing rows (one benchmark entry per traced mapping)."""
+    result = benchmark.pedantic(
+        run_figure1, kwargs={"lws_values": (lws,), "length": 128},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    trace = result.traces[min(result.traces)]
+    benchmark.extra_info["simulated_cycles"] = trace.cycles
+    benchmark.extra_info["kernel_calls"] = trace.num_calls
+    benchmark.extra_info["lane_utilization"] = round(trace.lane_utilization, 3)

@@ -1,0 +1,72 @@
+"""Benchmark E5 -- the three lws regimes of Section 2.
+
+For a fixed machine (the Figure-1 1c2w4t core scaled up to 2c4w8t) and a fixed
+workload, sweeps lws through the three regimes the paper derives analytically
+-- multiple sequential calls, balanced, under-utilised -- and checks that the
+simulated cycle counts order the regimes the way the analysis predicts.
+Results land in ``benchmarks/results/regimes.md``.
+"""
+
+import pytest
+
+from repro.core.analysis import MappingAnalyzer
+from repro.core.optimizer import optimal_local_size
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.experiments.report import render_table
+from repro.workloads.problems import make_problem
+
+from benchmarks.conftest import scale_from_env, write_result
+
+CONFIG = ArchConfig.from_name("2c4w8t")          # hp = 64
+
+
+def _run_regime_sweep():
+    problem = make_problem("vecadd", scale=scale_from_env())
+    device = Device(CONFIG)
+    analyzer = MappingAnalyzer(CONFIG)
+    optimal = optimal_local_size(problem.global_size, CONFIG)
+    lws_values = sorted({1, max(2, optimal // 4), optimal, optimal * 4, optimal * 16})
+    rows = []
+    for lws in lws_values:
+        analysis = analyzer.analyze(problem.global_size, lws)
+        result = launch_kernel(device, problem.kernel, problem.arguments,
+                               problem.global_size, local_size=lws,
+                               call_simulation_limit=3)
+        rows.append({
+            "lws": result.local_size,
+            "regime": analysis.regime,
+            "calls": result.num_calls,
+            "lane_utilization": analysis.lane_utilization,
+            "cycles": result.cycles,
+        })
+    return rows, optimal
+
+
+@pytest.mark.benchmark(group="regimes")
+def test_regime_cycle_ordering(benchmark):
+    rows, optimal = benchmark.pedantic(_run_regime_sweep, rounds=1, iterations=1,
+                                       warmup_rounds=0)
+    table = render_table(
+        ["lws", "regime", "kernel calls", "lane util", "cycles"],
+        [[str(r["lws"]), r["regime"], str(r["calls"]),
+          f"{r['lane_utilization']:.0%}", str(r["cycles"])] for r in rows],
+    )
+    write_result("regimes.md", table)
+
+    by_lws = {r["lws"]: r for r in rows}
+    best = by_lws[optimal]
+    assert best["regime"] == "balanced"
+    assert best["calls"] == 1
+    # the balanced mapping is the fastest of the sweep
+    assert best["cycles"] == min(r["cycles"] for r in rows)
+    # the multiple-call regime pays for its extra launches
+    naive = by_lws[1]
+    assert naive["regime"] == "multiple-calls"
+    assert naive["cycles"] > best["cycles"]
+    # the under-utilised regime is slower than balanced as well
+    oversized = by_lws[max(by_lws)]
+    assert oversized["regime"] == "under-utilised"
+    assert oversized["cycles"] > best["cycles"]
+    benchmark.extra_info["rows"] = rows

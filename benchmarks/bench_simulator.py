@@ -1,0 +1,82 @@
+"""Benchmarks of the substrate itself: simulator throughput and Eq.-1 cost.
+
+Two things matter for the reproduction's usability:
+
+* the **simulator throughput** (simulated warp-instructions per host second)
+  bounds how large a sweep fits in a given time budget -- tracked here so
+  regressions in the core model show up;
+* the **runtime cost of the technique**: Equation 1 is a handful of integer
+  operations evaluated at launch time.  The paper's pitch is that the mapping
+  decision is effectively free compared to a kernel launch; this benchmark
+  measures it directly (it is nanoseconds against a launch overhead of tens of
+  simulated cycles / milliseconds of real driver time).
+"""
+
+import pytest
+
+from repro.core.optimizer import optimal_local_size
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.workloads.problems import make_problem
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_simulator_throughput_vecadd(benchmark):
+    """Simulated warp-instructions per second on a mid-sized machine."""
+    problem = make_problem("vecadd", scale="bench")
+    device = Device(ArchConfig.from_name("4c4w8t"))
+
+    def run():
+        return launch_kernel(device, problem.kernel, problem.arguments,
+                             problem.global_size, local_size=None)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    instructions = result.counters.warp_instructions
+    benchmark.extra_info["warp_instructions"] = instructions
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    assert instructions > 0
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_simulator_throughput_sgemm(benchmark):
+    """Throughput on a compute-heavy kernel (inner-loop dominated)."""
+    problem = make_problem("sgemm", scale="bench")
+    device = Device(ArchConfig.from_name("4c4w8t"))
+
+    def run():
+        return launch_kernel(device, problem.kernel, problem.arguments,
+                             problem.global_size, local_size=None)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["warp_instructions"] = result.counters.warp_instructions
+
+
+@pytest.mark.benchmark(group="mapping-overhead")
+def test_equation1_evaluation_cost(benchmark):
+    """The runtime mapping decision itself: microseconds, not milliseconds."""
+    config = ArchConfig.from_name("64c32w32t")
+
+    def decide():
+        total = 0
+        for gws in (4096, 42764, 360 * 360, 2708 * 16, 16 * 32 * 32):
+            total += optimal_local_size(gws, config)
+        return total
+
+    total = benchmark(decide)
+    assert total > 0
+    # five launch decisions comfortably under a millisecond
+    assert benchmark.stats["mean"] < 1e-3
+
+
+@pytest.mark.benchmark(group="mapping-overhead")
+def test_dispatch_plan_construction_cost(benchmark):
+    """Building the full workgroup placement is also cheap relative to simulation."""
+    from repro.runtime.dispatcher import build_dispatch_plan
+    from repro.runtime.ndrange import NDRange
+
+    config = ArchConfig.from_name("16c16w16t")
+    ndrange = NDRange(4096, optimal_local_size(4096, config))
+
+    plan = benchmark(lambda: build_dispatch_plan(ndrange, config, {0: 0.0}))
+    assert plan.num_calls == 1

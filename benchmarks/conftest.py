@@ -1,0 +1,76 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure/claim of the paper has a benchmark module here.  Because the
+simulator is pure Python, the default grids and problem sizes are reduced
+(see DESIGN.md, substitutions table); the environment variables below scale
+the harness up to the full paper setup when time allows:
+
+* ``REPRO_SWEEP``  -- ``smoke`` | ``bench`` | ``paper``: hardware grid used by
+  the Figure-2 benchmarks (default ``bench`` = 36 configurations for the math
+  kernels, a 10-configuration grid for the ML layers).
+* ``REPRO_SCALE``  -- ``smoke`` | ``bench`` | ``paper``: problem sizes
+  (default ``bench``).
+* ``REPRO_EXACT_CALLS`` -- set to ``1`` to simulate every sequential kernel
+  call instead of extrapolating long lws=1 launches.
+
+Rendered result tables are written to ``benchmarks/results/`` so they can be
+compared against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import bench_sweep, paper_sweep, smoke_sweep
+from repro.sim.config import ArchConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Reduced grid used by default for the expensive ML-layer sweeps: the smoke
+#: grid plus the two largest machines, so the under-utilisation regime of
+#: fixed lws values is still exercised.
+ML_DEFAULT_GRID = smoke_sweep() + [
+    ArchConfig.from_name("16c16w16t"),
+    ArchConfig.from_name("64c32w32t"),
+]
+
+
+def sweep_from_env(default: str = "bench"):
+    """Hardware grid selected by ``REPRO_SWEEP``."""
+    name = os.environ.get("REPRO_SWEEP", default)
+    return {"smoke": smoke_sweep, "bench": bench_sweep, "paper": paper_sweep}[name]()
+
+
+def ml_sweep_from_env():
+    """Hardware grid for the ML-layer benchmarks (reduced by default)."""
+    name = os.environ.get("REPRO_SWEEP")
+    if name is None:
+        return list(ML_DEFAULT_GRID)
+    return {"smoke": smoke_sweep, "bench": bench_sweep, "paper": paper_sweep}[name]()
+
+
+def scale_from_env(default: str = "bench") -> str:
+    """Problem scale selected by ``REPRO_SCALE``."""
+    return os.environ.get("REPRO_SCALE", default)
+
+
+def call_limit_from_env():
+    """Kernel-call extrapolation limit (None = exact simulation)."""
+    return None if os.environ.get("REPRO_EXACT_CALLS") == "1" else 3
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table/report under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Validate Equation 1 against an exhaustive-search oracle.
+
+The paper claims the runtime formula needs no search.  This example
+brute-forces the lws space for one kernel on several machine shapes and shows
+where the Eq.-1 choice lands in the ranking -- it should be the best value or
+within a few percent of it, at zero search cost.
+
+Run with:  python examples/autotuning_oracle.py
+"""
+
+from repro.core.autotuner import exhaustive_search
+from repro.runtime.device import Device
+from repro.workloads.problems import make_problem
+
+
+def main() -> None:
+    problem = make_problem("sgemm", scale="bench")
+    print(problem.summary())
+    print()
+
+    for config_name in ("1c2w4t", "2c4w8t", "4c8w8t", "16c8w16t"):
+        device = Device(config_name)
+        result = exhaustive_search(device, problem.kernel, problem.arguments,
+                                   problem.global_size)
+        print(f"{config_name:>9s}  (hp={device.hardware_parallelism:5d})  "
+              f"oracle lws={result.best_local_size:<5d} {result.best_cycles:>8d} cycles   "
+              f"Eq.1 lws={result.eq1_local_size:<5d} {result.eq1_cycles:>8d} cycles   "
+              f"gap {result.eq1_gap:.3f}x")
+        ranked = result.ranked()
+        worst_lws, worst_cycles = ranked[-1]
+        print(f"            worst candidate: lws={worst_lws} "
+              f"({worst_cycles / result.best_cycles:.1f}x slower than the oracle)")
+    print()
+    print("Eq. 1 lands on (or within a few percent of) the oracle without any search;")
+    print("a fixed, hardware-agnostic choice can be many times slower on large machines.")
+
+
+if __name__ == "__main__":
+    main()

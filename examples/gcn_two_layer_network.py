@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Two-layer GCN inference as a multi-kernel pipeline on the device.
+
+The paper's conclusion points at "the end-to-end execution of neural
+networks" as the next step beyond single-kernel mapping.  This example runs a
+small two-layer GCN (aggregate -> transform -> aggregate -> transform) as four
+dependent kernel launches that keep their intermediate tensors on the device,
+with every launch mapped by the runtime (Equation 1).  It reports per-layer
+cycles and checks the whole pipeline against a numpy reference.
+
+Run with:  python examples/gcn_two_layer_network.py
+"""
+
+import numpy as np
+
+from repro.core.optimizer import optimal_local_size
+from repro.runtime.device import Device
+from repro.workloads.graphs import synthetic_graph
+from repro.workloads.tensors import random_matrix
+from repro.kernels.registry import get_kernel
+
+
+def reference_layer(graph, features, weights):
+    aggregated = np.zeros_like(features)
+    for node in range(graph.num_nodes):
+        neighbours = graph.neighbours(node)
+        total = features[node].copy()
+        for neighbour in neighbours:
+            total += features[int(neighbour)]
+        aggregated[node] = total / (len(neighbours) + 1)
+    return np.maximum(aggregated @ weights, 0.0)
+
+
+def main() -> None:
+    device = Device("8c8w8t")
+    print(device.describe())
+
+    # A small citation-style graph and a 16 -> 8 -> 4 feature pipeline.
+    graph = synthetic_graph(num_nodes=192, num_edges=768, seed=3)
+    hidden = [16, 8, 4]
+    features = random_matrix(graph.num_nodes, hidden[0], seed=1)
+    weights = [random_matrix(hidden[i], hidden[i + 1], seed=10 + i) for i in range(2)]
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+          f"layers: {hidden[0]} -> {hidden[1]} -> {hidden[2]}\n")
+
+    gcn_layer = get_kernel("gcn_layer")
+    total_cycles = 0
+    current = features
+    for layer, weight in enumerate(weights):
+        gws = graph.num_nodes * weight.shape[1]
+        lws = optimal_local_size(gws, device.config)
+        result = device.launch(
+            gcn_layer,
+            {"row_ptr": graph.row_ptr.astype(float), "col_idx": graph.col_idx.astype(float),
+             "x": current, "w": weight,
+             "out": np.zeros((graph.num_nodes, weight.shape[1])),
+             "hidden": weight.shape[0], "hidden_out": weight.shape[1]},
+            gws,
+        )
+        total_cycles += result.cycles
+        print(f"layer {layer}: gws={gws:5d}  lws={lws:3d} (runtime choice)  "
+              f"{result.cycles:7d} cycles  "
+              f"lane utilisation {result.dispatch.average_lane_utilization:.0%}")
+        current = result.outputs["out"].reshape(graph.num_nodes, weight.shape[1])
+
+    expected = reference_layer(graph, reference_layer(graph, features, weights[0]), weights[1])
+    np.testing.assert_allclose(current, expected, rtol=1e-9, atol=1e-9)
+    print(f"\ntotal: {total_cycles} cycles for the 2-layer network; "
+          f"outputs match the numpy reference")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Exposes the library's main workflows without writing Python::
+
+    python -m repro info    --config 8c8w8t --gws 4096
+    python -m repro run     vecadd --config 4c8w8t --scale bench [--lws 32] [--trace]
+    python -m repro figure1
+    python -m repro sweep   --kernels vecadd,sgemm --sweep smoke --scale bench -o sweep.json
+    python -m repro report  sweep.json
+
+``info`` answers the runtime question the paper poses (what lws should this
+launch use on this machine), ``run`` executes a single workload under a chosen
+or runtime-selected mapping, ``figure1``/``sweep``/``report`` drive the paper's
+experiments and render their tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.advisor import TuningAdvisor
+from repro.core.optimizer import optimal_local_size
+from repro.experiments.claims import evaluate_claims
+from repro.experiments.configs import sweep_by_name
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.report import render_figure2_table, render_speedup_summary
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.trace.render import render_issue_timeline, render_summary
+from repro.trace.tracer import Tracer
+from repro.workloads.problems import available_problems, make_problem
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for documentation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vortex-like GPGPU simulator with runtime micro-architecture-aware "
+                    "kernel mapping (IISWC 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a machine and the Eq.-1 mapping for a launch")
+    info.add_argument("--config", default="4c8w8t", help="machine shape, e.g. 4c8w8t")
+    info.add_argument("--gws", type=int, default=None, help="global work size to map")
+
+    run = sub.add_parser("run", help="run one workload on one machine")
+    run.add_argument("problem", choices=available_problems())
+    run.add_argument("--config", default="4c8w8t", help="machine shape, e.g. 4c8w8t")
+    run.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
+    run.add_argument("--lws", type=int, default=None,
+                     help="local work size (omit to use the runtime Eq.-1 choice)")
+    run.add_argument("--trace", action="store_true", help="print an issue timeline")
+    run.add_argument("--advise", action="store_true", help="print the tuning-advisor report")
+
+    figure1 = sub.add_parser("figure1", help="reproduce the paper's Figure-1 trace study")
+    figure1.add_argument("--length", type=int, default=128)
+    figure1.add_argument("--lws", type=int, nargs="*", default=[1, 16, 32, 64])
+
+    sweep = sub.add_parser("sweep", help="run a Figure-2 style sweep")
+    sweep.add_argument("--kernels", default="vecadd,relu,saxpy,sgemm,knn",
+                       help="comma-separated workload names")
+    sweep.add_argument("--sweep", default="smoke", choices=("smoke", "bench", "paper"))
+    sweep.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
+    sweep.add_argument("--exact-calls", action="store_true",
+                       help="simulate every sequential kernel call (no extrapolation)")
+    sweep.add_argument("-o", "--output", default=None, help="write raw records to a JSON file")
+
+    report = sub.add_parser("report", help="render the Figure-2 table from a saved sweep")
+    report.add_argument("input", help="JSON file produced by 'repro sweep -o'")
+    report.add_argument("--claims", action="store_true", help="also evaluate the Section-3 claims")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_info(args) -> int:
+    config = ArchConfig.from_name(args.config)
+    print(config.describe())
+    if args.gws is not None:
+        lws = optimal_local_size(args.gws, config)
+        advisor = TuningAdvisor(config)
+        print()
+        print(advisor.advise(args.gws).render())
+        print()
+        print(f"Eq. 1: lws = ceil({args.gws} / {config.hardware_parallelism}) = {lws}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = ArchConfig.from_name(args.config)
+    problem = make_problem(args.problem, scale=args.scale)
+    tracer = Tracer(max_events=500_000) if args.trace else None
+    device = Device(config, tracer=tracer)
+    result = launch_kernel(device, problem.kernel, problem.arguments, problem.global_size,
+                           local_size=args.lws)
+    print(problem.summary())
+    print(result.summary())
+    print(f"  workgroups          : {result.num_workgroups}")
+    print(f"  lane utilisation    : {result.dispatch.average_lane_utilization:.1%}")
+    print(f"  IPC (warp instr/cyc): {result.counters.ipc:.3f}")
+    print(f"  L1 hit rate         : {result.counters.l1_hit_rate:.1%}")
+    if args.trace and tracer is not None:
+        print()
+        print(render_issue_timeline(tracer.events, width=100,
+                                    title=f"{problem.name} on {config.name}"))
+        print()
+        print(render_summary(tracer.events, result.counters, config.threads_per_warp))
+    if args.advise:
+        print()
+        advisor = TuningAdvisor(config)
+        print(advisor.advise(problem.global_size, current_local_size=result.local_size,
+                             counters=result.counters).render())
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    result = run_figure1(lws_values=tuple(args.lws), length=args.length)
+    print(result.render())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    kernels = [name.strip() for name in args.kernels.split(",") if name.strip()]
+    configs = sweep_by_name(args.sweep)
+    limit = None if args.exact_calls else 3
+    result = run_figure2(kernels, configs, scale=args.scale, call_simulation_limit=limit)
+    print(render_figure2_table(result))
+    print()
+    print(render_speedup_summary(result))
+    if args.output:
+        result.save_json(args.output)
+        print(f"\nraw records written to {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    result = Figure2Result.load_json(args.input)
+    print(render_figure2_table(result))
+    print()
+    print(render_speedup_summary(result))
+    if args.claims:
+        print()
+        print(evaluate_claims(result).render())
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "run": _cmd_run,
+    "figure1": _cmd_figure1,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

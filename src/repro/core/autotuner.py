@@ -1,0 +1,95 @@
+"""Exhaustive-search oracle.
+
+The paper's claim is that Equation 1 picks a near-optimal ``lws`` *without*
+searching.  To validate that claim (and to quantify the residual gap the paper
+attributes to second-order effects such as launch overhead amortisation and
+memory-bandwidth utilisation), this module brute-forces the lws space on the
+simulator and reports the best value found.  It is an offline tool -- the
+whole point of the paper is that production launches should not need it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.optimizer import optimal_local_size
+from repro.sim.config import ArchConfig
+
+
+@dataclass(frozen=True)
+class ExhaustiveSearchResult:
+    """Outcome of brute-forcing the lws space for one launch."""
+
+    config_name: str
+    global_size: int
+    cycles_by_lws: Mapping[int, int]
+    best_local_size: int
+    best_cycles: int
+    eq1_local_size: int
+    eq1_cycles: int
+
+    @property
+    def eq1_gap(self) -> float:
+        """How far Eq. 1 is from the oracle (1.0 = identical, 1.1 = 10% slower)."""
+        if self.best_cycles == 0:
+            return 1.0
+        return self.eq1_cycles / self.best_cycles
+
+    def ranked(self) -> List[Tuple[int, int]]:
+        """(lws, cycles) pairs sorted from fastest to slowest."""
+        return sorted(self.cycles_by_lws.items(), key=lambda item: item[1])
+
+
+def default_candidates(global_size: int, config: ArchConfig,
+                       max_candidates: int = 24) -> List[int]:
+    """A reasonable lws candidate set: powers of two, the Eq.-1 value and gws itself."""
+    candidates = {1, global_size}
+    value = 1
+    while value < global_size:
+        candidates.add(value)
+        value *= 2
+    candidates.add(optimal_local_size(global_size, config))
+    ordered = sorted(c for c in candidates if 1 <= c <= global_size)
+    if len(ordered) <= max_candidates:
+        return ordered
+    # Keep the extremes and a uniform subsample in between.
+    step = (len(ordered) - 1) / (max_candidates - 1)
+    picked = {ordered[round(i * step)] for i in range(max_candidates)}
+    picked.add(optimal_local_size(global_size, config))
+    return sorted(picked)
+
+
+def exhaustive_search(device, kernel, arguments: Mapping[str, object], global_size,
+                      candidates: Optional[Sequence[int]] = None) -> ExhaustiveSearchResult:
+    """Run ``kernel`` once per candidate lws on ``device`` and report the best.
+
+    ``device`` is a :class:`repro.runtime.device.Device`; the import is local
+    to keep this module importable without the runtime layer.
+    """
+    from repro.runtime.launcher import launch_kernel  # deferred: avoids an import cycle
+    from repro.runtime.ndrange import NDRange
+
+    flat_gws = NDRange(global_size, 1).global_size
+    lws_candidates = list(candidates) if candidates is not None else default_candidates(
+        flat_gws, device.config)
+    eq1 = optimal_local_size(flat_gws, device.config)
+    if eq1 not in lws_candidates:
+        lws_candidates.append(eq1)
+
+    cycles_by_lws: Dict[int, int] = {}
+    for lws in sorted(set(lws_candidates)):
+        result = launch_kernel(device, kernel, arguments, global_size, local_size=lws)
+        cycles_by_lws[lws] = result.cycles
+
+    best_lws = min(cycles_by_lws, key=cycles_by_lws.get)
+    return ExhaustiveSearchResult(
+        config_name=device.config.name,
+        global_size=flat_gws,
+        cycles_by_lws=cycles_by_lws,
+        best_local_size=best_lws,
+        best_cycles=cycles_by_lws[best_lws],
+        eq1_local_size=eq1,
+        eq1_cycles=cycles_by_lws[eq1],
+    )

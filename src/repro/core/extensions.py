@@ -1,0 +1,115 @@
+"""Extensions beyond Equation 1 (the paper's future-work directions).
+
+The paper observes that "in a few specific hw configurations, spawning more or
+less warps can bring small benefits to the execution (because of e.g., reduced
+overhead, improved memory bandwidth utilization)" and leaves exploiting those
+second-order effects to future work.  This module provides one such
+extension as a worked example:
+
+:class:`BandwidthAwareMapping` -- for memory-bound kernels the useful
+parallelism is capped by the DRAM bandwidth: once enough lanes are in flight
+to keep the memory system saturated, additional warps only add spawn overhead
+and cache pressure.  The strategy estimates the lane count needed to saturate
+bandwidth (from a static per-item profile or from the counters of a previous
+run) and enlarges the local work size accordingly, never dropping below the
+Eq.-1 value's single-call guarantee.
+
+The extension deliberately degrades to Eq. 1 whenever the kernel is not
+clearly memory bound or the estimate is unavailable -- the paper's formula
+remains the default answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.mapper import MappingStrategy
+from repro.core.optimizer import optimal_local_size
+from repro.sim.config import ArchConfig
+from repro.sim.stats import PerfCounters
+
+#: Extra parallelism kept beyond the bare bandwidth-saturation point so DRAM
+#: latency can still be hidden (2x is a conventional rule of thumb).
+DEFAULT_LATENCY_HEADROOM = 2.0
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Per-work-item memory behaviour of a kernel, used to size the mapping.
+
+    ``lines_per_item`` counts DRAM line transfers per work-item;
+    ``cycles_per_item`` is the issue time of one work-item on one lane
+    (both are averages; they come from a profiling run or a static estimate).
+    """
+
+    lines_per_item: float
+    cycles_per_item: float
+
+    def __post_init__(self):
+        if self.lines_per_item < 0:
+            raise ValueError("lines_per_item cannot be negative")
+        if self.cycles_per_item <= 0:
+            raise ValueError("cycles_per_item must be positive")
+
+    @classmethod
+    def from_counters(cls, counters: PerfCounters, global_size: int) -> "MemoryProfile":
+        """Derive a profile from the counters of a previous run of the kernel."""
+        if global_size < 1:
+            raise ValueError("global_size must be positive")
+        lines = counters.dram_lines / global_size if global_size else 0.0
+        cycles = (counters.lane_instructions / global_size) if global_size else 1.0
+        return cls(lines_per_item=lines, cycles_per_item=max(1.0, cycles))
+
+    def saturating_lanes(self, config: ArchConfig,
+                         headroom: float = DEFAULT_LATENCY_HEADROOM) -> int:
+        """Number of active lanes that saturates the DRAM bandwidth."""
+        if self.lines_per_item == 0:
+            return config.hardware_parallelism
+        lanes = config.dram_lines_per_cycle * self.cycles_per_item / self.lines_per_item
+        return max(1, int(math.ceil(lanes * headroom)))
+
+
+class BandwidthAwareMapping(MappingStrategy):
+    """Eq. 1 extended with a DRAM-bandwidth cap on the spawned parallelism.
+
+    With a :class:`MemoryProfile` (or the counters of a prior run via
+    :meth:`from_profile_run`), the strategy computes how many lanes are needed
+    to keep DRAM busy and chooses ``lws = ceil(gws / lanes)`` -- i.e. fewer,
+    longer-running workgroups -- whenever that cap is *below* the machine's
+    hardware parallelism.  Otherwise it returns exactly the Eq.-1 value.
+    """
+
+    name = "bandwidth-aware"
+
+    def __init__(self, profile: Optional[MemoryProfile] = None,
+                 headroom: float = DEFAULT_LATENCY_HEADROOM):
+        if headroom <= 0:
+            raise ValueError("headroom must be positive")
+        self.profile = profile
+        self.headroom = headroom
+
+    @classmethod
+    def from_profile_run(cls, counters: PerfCounters, global_size: int,
+                         headroom: float = DEFAULT_LATENCY_HEADROOM) -> "BandwidthAwareMapping":
+        """Build the strategy from a previous run's performance counters."""
+        return cls(MemoryProfile.from_counters(counters, global_size), headroom=headroom)
+
+    def select_local_size(self, global_size: int, config: ArchConfig) -> int:
+        baseline = optimal_local_size(global_size, config)
+        if self.profile is None:
+            return baseline
+        lanes = self.profile.saturating_lanes(config, self.headroom)
+        if lanes >= config.hardware_parallelism:
+            return baseline                      # compute bound (or bandwidth not limiting)
+        capped = max(1, math.ceil(global_size / lanes))
+        # Never fall below Eq. 1: that would reintroduce multiple kernel calls.
+        return max(baseline, capped)
+
+    def describe(self) -> str:
+        if self.profile is None:
+            return "bandwidth-aware mapping (no profile: identical to Eq. 1)"
+        return (f"bandwidth-aware mapping ({self.profile.lines_per_item:.3f} lines/item, "
+                f"{self.profile.cycles_per_item:.1f} cycles/item, "
+                f"headroom {self.headroom:g}x)")

@@ -1,0 +1,58 @@
+"""Experiment harness: regenerates every figure and headline claim of the paper.
+
+* :mod:`~repro.experiments.configs` -- the 450-configuration hardware sweep
+  (and reduced grids for CI-sized runs).
+* :mod:`~repro.experiments.figure1` -- the Figure-1 trace study: ``vecadd``
+  on a 1-core/2-warp/4-thread machine under four different lws values.
+* :mod:`~repro.experiments.figure2` -- the Figure-2 sweep: every workload on
+  every configuration under the three mappings, with the violin statistics
+  (average, worst case, fraction below 1) reported in the paper's data tables.
+* :mod:`~repro.experiments.claims` -- the textual claims of Section 3
+  (average 1.3x / 3.7x speed-ups, up to 20x worst case, Eq. 1 degenerating to
+  lws=1 on very large machines).
+* :mod:`~repro.experiments.ablation` -- launch-overhead sensitivity and
+  memory/compute boundedness studies.
+* :mod:`~repro.experiments.report` -- markdown rendering of all results.
+"""
+
+from repro.experiments.configs import (
+    PAPER_SWEEP_SIZE,
+    bench_sweep,
+    paper_sweep,
+    smoke_sweep,
+    sweep_by_name,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, SweepRecord, run_figure2
+from repro.experiments.stats import RatioStats, ratio_stats
+from repro.experiments.claims import ClaimResults, evaluate_claims
+from repro.experiments.ablation import (
+    BoundednessRecord,
+    OverheadSensitivityRecord,
+    boundedness_study,
+    overhead_sensitivity,
+)
+from repro.experiments.report import render_figure2_table, render_markdown_report
+
+__all__ = [
+    "BoundednessRecord",
+    "ClaimResults",
+    "Figure1Result",
+    "Figure2Result",
+    "OverheadSensitivityRecord",
+    "PAPER_SWEEP_SIZE",
+    "RatioStats",
+    "SweepRecord",
+    "bench_sweep",
+    "boundedness_study",
+    "evaluate_claims",
+    "overhead_sensitivity",
+    "paper_sweep",
+    "ratio_stats",
+    "render_figure2_table",
+    "render_markdown_report",
+    "run_figure1",
+    "run_figure2",
+    "smoke_sweep",
+    "sweep_by_name",
+]

@@ -1,0 +1,103 @@
+"""Ablation studies for the design parameters DESIGN.md calls out.
+
+* :func:`overhead_sensitivity` (A1) -- the lws=1 penalty is driven by the
+  per-call launch overhead; sweeping the overhead quantifies how sensitive the
+  paper's Figure-2 left-hand violins are to that micro-architecture parameter.
+* :func:`boundedness_study` (A2) -- classifies each workload as memory- or
+  compute-bound on a reference machine, reproducing the annotation above the
+  paper's Figure 2 and explaining why the memory-bound kernels benefit less
+  from extra parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.mapper import HardwareAwareMapping, NaiveMapping
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.trace.analysis import classify_boundedness
+from repro.workloads.problems import make_problem
+
+#: Launch overheads (cycles) swept by the A1 ablation.
+DEFAULT_OVERHEADS = (0, 16, 64, 256, 1024)
+
+
+@dataclass(frozen=True)
+class OverheadSensitivityRecord:
+    """One point of the launch-overhead ablation."""
+
+    launch_overhead: int
+    naive_cycles: int
+    ours_cycles: int
+
+    @property
+    def ratio(self) -> float:
+        """Slow-down of the naive mapping at this overhead."""
+        return self.naive_cycles / self.ours_cycles if self.ours_cycles else 0.0
+
+
+def overhead_sensitivity(problem_name: str = "vecadd", scale: str = "bench",
+                         config: Optional[ArchConfig] = None,
+                         overheads: Sequence[int] = DEFAULT_OVERHEADS,
+                         call_simulation_limit: Optional[int] = 3,
+                         seed: int = 0) -> List[OverheadSensitivityRecord]:
+    """Sweep the kernel-launch overhead and measure the naive-vs-ours ratio."""
+    base_config = config if config is not None else ArchConfig(cores=4, warps_per_core=4,
+                                                               threads_per_warp=8)
+    problem = make_problem(problem_name, scale=scale, seed=seed)
+    naive = NaiveMapping()
+    ours = HardwareAwareMapping()
+    records: List[OverheadSensitivityRecord] = []
+    for overhead in overheads:
+        config_o = replace(base_config, kernel_launch_overhead=overhead)
+        device = Device(config_o)
+        naive_cycles = launch_kernel(
+            device, problem.kernel, problem.arguments, problem.global_size,
+            local_size=naive.select_local_size(problem.global_size, config_o),
+            call_simulation_limit=call_simulation_limit).cycles
+        ours_cycles = launch_kernel(
+            device, problem.kernel, problem.arguments, problem.global_size,
+            local_size=ours.select_local_size(problem.global_size, config_o),
+            call_simulation_limit=call_simulation_limit).cycles
+        records.append(OverheadSensitivityRecord(
+            launch_overhead=overhead, naive_cycles=naive_cycles, ours_cycles=ours_cycles))
+    return records
+
+
+@dataclass(frozen=True)
+class BoundednessRecord:
+    """Boundedness classification of one workload."""
+
+    problem: str
+    category: str
+    boundedness: str
+    memory_intensity: float
+    l1_hit_rate: float
+    cycles: int
+
+
+def boundedness_study(problem_names: Sequence[str], scale: str = "bench",
+                      config: Optional[ArchConfig] = None,
+                      seed: int = 0) -> List[BoundednessRecord]:
+    """Classify each workload as memory- or compute-bound on a reference machine."""
+    reference = config if config is not None else ArchConfig(cores=2, warps_per_core=4,
+                                                             threads_per_warp=8)
+    records: List[BoundednessRecord] = []
+    for name in problem_names:
+        problem = make_problem(name, scale=scale, seed=seed)
+        device = Device(reference)
+        result = launch_kernel(device, problem.kernel, problem.arguments, problem.global_size,
+                               local_size=None)
+        counters = result.counters
+        records.append(BoundednessRecord(
+            problem=problem.name,
+            category=problem.category,
+            boundedness=classify_boundedness(counters),
+            memory_intensity=counters.memory_intensity,
+            l1_hit_rate=counters.l1_hit_rate,
+            cycles=result.cycles,
+        ))
+    return records

@@ -1,0 +1,76 @@
+"""Hardware-configuration sweeps.
+
+The paper validates its mapping on "450 different hardware GPU configurations,
+spanning from 1 core, 2 warps, and 2 threads (1c2w2t) to 64c32w32t".  The exact
+grid is not published, so the reproduction uses a Cartesian grid with the same
+corner points and the same count:
+
+* 18 core counts: 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 56, 60, 64
+* 5 warp counts per core: 2, 4, 8, 16, 32
+* 5 thread counts per warp: 2, 4, 8, 16, 32
+
+18 x 5 x 5 = 450 configurations.  Reduced grids (``bench``, ``smoke``) keep the
+same span (including both corner machines) with fewer intermediate points so
+the sweep fits in CI time on the pure-Python simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.sim.config import ArchConfig
+
+#: Core counts of the full sweep (18 values).
+PAPER_CORE_COUNTS = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 56, 60, 64)
+#: Warp counts per core of the full sweep.
+PAPER_WARP_COUNTS = (2, 4, 8, 16, 32)
+#: Thread counts per warp of the full sweep.
+PAPER_THREAD_COUNTS = (2, 4, 8, 16, 32)
+
+#: Size of the paper's sweep.
+PAPER_SWEEP_SIZE = len(PAPER_CORE_COUNTS) * len(PAPER_WARP_COUNTS) * len(PAPER_THREAD_COUNTS)
+
+# Reduced grids: same corners (1c2w2t and 64c32w32t), fewer interior points.
+BENCH_CORE_COUNTS = (1, 4, 16, 64)
+BENCH_WARP_COUNTS = (2, 8, 32)
+BENCH_THREAD_COUNTS = (2, 8, 32)
+
+SMOKE_CORE_COUNTS = (1, 4)
+SMOKE_WARP_COUNTS = (2, 8)
+SMOKE_THREAD_COUNTS = (2, 8)
+
+
+def grid_sweep(cores: Sequence[int], warps: Sequence[int], threads: Sequence[int],
+               **overrides) -> List[ArchConfig]:
+    """Cartesian product of the three shape axes as :class:`ArchConfig` objects."""
+    configs: List[ArchConfig] = []
+    for core_count in cores:
+        for warp_count in warps:
+            for thread_count in threads:
+                configs.append(ArchConfig(cores=core_count, warps_per_core=warp_count,
+                                          threads_per_warp=thread_count, **overrides))
+    return configs
+
+
+def paper_sweep(**overrides) -> List[ArchConfig]:
+    """The full 450-configuration sweep."""
+    return grid_sweep(PAPER_CORE_COUNTS, PAPER_WARP_COUNTS, PAPER_THREAD_COUNTS, **overrides)
+
+
+def bench_sweep(**overrides) -> List[ArchConfig]:
+    """A 36-configuration grid with the same span, used by the benchmark harness."""
+    return grid_sweep(BENCH_CORE_COUNTS, BENCH_WARP_COUNTS, BENCH_THREAD_COUNTS, **overrides)
+
+
+def smoke_sweep(**overrides) -> List[ArchConfig]:
+    """An 8-configuration grid for tests and quick sanity runs."""
+    return grid_sweep(SMOKE_CORE_COUNTS, SMOKE_WARP_COUNTS, SMOKE_THREAD_COUNTS, **overrides)
+
+
+def sweep_by_name(name: str, **overrides) -> List[ArchConfig]:
+    """Look up a sweep by name: ``"paper"``, ``"bench"`` or ``"smoke"``."""
+    sweeps = {"paper": paper_sweep, "bench": bench_sweep, "smoke": smoke_sweep}
+    try:
+        return sweeps[name](**overrides)
+    except KeyError:
+        raise KeyError(f"unknown sweep {name!r}; expected one of {sorted(sweeps)}") from None

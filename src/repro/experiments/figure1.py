@@ -1,0 +1,116 @@
+"""Figure 1: execution traces of ``vecadd`` under different lws values.
+
+The paper's Figure 1 traces a 128-element vector addition on a
+1-core / 2-warp / 4-thread machine (hardware parallelism 8) for
+``lws in {1, 16, 32, 64}`` and shows, per warp, which tagged code section
+issues at which time.  ``run_figure1`` reproduces the study: it runs the same
+four launches with tracing enabled and returns, per lws, the trace, the cycle
+count, the number of kernel calls and the rendered ASCII timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.device import Device
+from repro.runtime.launcher import LaunchResult, launch_kernel
+from repro.sim.config import ArchConfig, FIGURE1_CONFIG
+from repro.trace.analysis import TraceAnalysis, analyze_trace
+from repro.trace.render import render_issue_timeline, render_section_waveform
+from repro.trace.tracer import Tracer
+from repro.workloads.problems import make_problem
+from repro.workloads.tensors import random_vector
+
+import numpy as np
+
+#: The lws values traced in the paper's Figure 1.
+FIGURE1_LWS_VALUES = (1, 16, 32, 64)
+#: The vector length used in the paper's Figure 1.
+FIGURE1_LENGTH = 128
+
+
+@dataclass
+class Figure1Trace:
+    """One traced launch of the Figure-1 study."""
+
+    local_size: int
+    cycles: int
+    num_calls: int
+    num_workgroups: int
+    lane_utilization: float
+    events: tuple
+    analysis: TraceAnalysis
+    timeline: str
+    waveform: str
+
+    def summary(self) -> str:
+        """One-line summary mirroring the paper's per-plot caption."""
+        return (f"lws={self.local_size:>3}: {self.cycles:>6} cycles, "
+                f"{self.num_calls} kernel call(s), "
+                f"{self.num_workgroups} workgroups, "
+                f"lane utilisation {self.lane_utilization:.0%}")
+
+
+@dataclass
+class Figure1Result:
+    """All traced launches of the Figure-1 study."""
+
+    config_name: str
+    global_size: int
+    traces: Dict[int, Figure1Trace] = field(default_factory=dict)
+
+    def best_local_size(self) -> int:
+        """The lws with the lowest cycle count (the paper's Eq.-1 value, 16)."""
+        return min(self.traces, key=lambda lws: self.traces[lws].cycles)
+
+    def render(self) -> str:
+        """Full multi-plot text rendering (one block per lws, like Figure 1)."""
+        blocks: List[str] = [
+            f"Figure 1 reproduction: vecadd, {self.global_size} elements on {self.config_name}",
+            "",
+        ]
+        for lws in sorted(self.traces):
+            trace = self.traces[lws]
+            blocks.append(trace.summary())
+            blocks.append(trace.waveform)
+            blocks.append(trace.timeline)
+            blocks.append("")
+        return "\n".join(blocks)
+
+
+def run_figure1(lws_values: Sequence[int] = FIGURE1_LWS_VALUES,
+                length: int = FIGURE1_LENGTH,
+                config: Optional[ArchConfig] = None,
+                max_trace_events: int = 200_000,
+                timeline_width: int = 96) -> Figure1Result:
+    """Trace ``vecadd`` under each lws in ``lws_values`` on the Figure-1 machine."""
+    config = config if config is not None else FIGURE1_CONFIG
+    a = random_vector(length, seed=11)
+    b = random_vector(length, seed=12)
+    arguments = {"a": a, "b": b, "c": np.zeros(length)}
+    from repro.kernels.library import VECADD
+
+    result = Figure1Result(config_name=config.name, global_size=length)
+    for lws in lws_values:
+        tracer = Tracer(max_events=max_trace_events)
+        device = Device(config, tracer=tracer)
+        launch = launch_kernel(device, VECADD, arguments, length, local_size=lws)
+        events = tracer.events
+        analysis = analyze_trace(events, launch.counters,
+                                 threads_per_warp=config.threads_per_warp)
+        trace = Figure1Trace(
+            local_size=launch.local_size,
+            cycles=launch.cycles,
+            num_calls=launch.num_calls,
+            num_workgroups=launch.num_workgroups,
+            lane_utilization=(launch.dispatch.average_lane_utilization
+                              if launch.dispatch else 0.0),
+            events=events,
+            analysis=analysis,
+            timeline=render_issue_timeline(events, width=timeline_width,
+                                           title=f"lws={launch.local_size}"),
+            waveform=render_section_waveform(events, width=timeline_width),
+        )
+        result.traces[launch.local_size] = trace
+    return result

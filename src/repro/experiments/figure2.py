@@ -1,0 +1,254 @@
+"""Figure 2: the hardware-configuration sweep.
+
+For every workload and every hardware configuration the launch is executed
+three times -- with the naive ``lws=1`` mapping, with the fixed ``lws=32``
+mapping and with the paper's hardware-aware mapping -- and the cycle counts
+are compared as ratios ``baseline / ours``.  The per-kernel distributions of
+those ratios (over all configurations) are the violins of the paper's
+Figure 2; their summary statistics (average, worst, %-worse) are the numbers
+printed in its data tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.mapper import MappingStrategy, PAPER_STRATEGIES
+from repro.experiments.stats import RatioStats, ratio_stats
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.workloads.problems import Problem, make_problem
+
+#: The label of the paper's proposed mapping inside result tables.
+OURS = "ours"
+#: Baseline labels, in the order the paper's violins show them (left, right).
+BASELINES = ("lws=1", "lws=32")
+
+#: Default number of kernel calls simulated exactly before extrapolating the
+#: rest; keeps the lws=1 arm of the sweep tractable (see launcher docs).
+DEFAULT_CALL_SIMULATION_LIMIT = 3
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (problem, configuration, strategy) measurement."""
+
+    problem: str
+    category: str
+    config_name: str
+    hardware_parallelism: int
+    strategy: str
+    local_size: int
+    global_size: int
+    num_calls: int
+    cycles: int
+    lane_utilization: float
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialise to plain types."""
+        return {
+            "problem": self.problem,
+            "category": self.category,
+            "config": self.config_name,
+            "hp": self.hardware_parallelism,
+            "strategy": self.strategy,
+            "lws": self.local_size,
+            "gws": self.global_size,
+            "calls": self.num_calls,
+            "cycles": self.cycles,
+            "lane_utilization": self.lane_utilization,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepRecord":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            problem=str(data["problem"]),
+            category=str(data["category"]),
+            config_name=str(data["config"]),
+            hardware_parallelism=int(data["hp"]),
+            strategy=str(data["strategy"]),
+            local_size=int(data["lws"]),
+            global_size=int(data["gws"]),
+            num_calls=int(data["calls"]),
+            cycles=int(data["cycles"]),
+            lane_utilization=float(data["lane_utilization"]),
+        )
+
+
+@dataclass
+class Figure2Result:
+    """All sweep measurements plus the derived per-kernel ratio statistics."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ queries
+    def problems(self) -> List[str]:
+        """Problem names present in the result, in first-seen order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.problem not in seen:
+                seen.append(record.problem)
+        return seen
+
+    def cycles(self, problem: str, config_name: str, strategy: str) -> int:
+        """Cycle count of one measurement."""
+        for record in self.records:
+            if (record.problem == problem and record.config_name == config_name
+                    and record.strategy == strategy):
+                return record.cycles
+        raise KeyError(f"no record for {problem}/{config_name}/{strategy}")
+
+    def ratios(self, problem: str, baseline: str) -> List[float]:
+        """``baseline / ours`` cycle ratios of ``problem`` over every configuration."""
+        ours: Dict[str, int] = {}
+        base: Dict[str, int] = {}
+        for record in self.records:
+            if record.problem != problem:
+                continue
+            if record.strategy == OURS:
+                ours[record.config_name] = record.cycles
+            elif record.strategy == baseline:
+                base[record.config_name] = record.cycles
+        shared = sorted(set(ours) & set(base))
+        if not shared:
+            raise KeyError(f"no overlapping configurations for {problem}/{baseline}")
+        return [base[name] / ours[name] for name in shared]
+
+    def stats(self, problem: str, baseline: str) -> RatioStats:
+        """Violin statistics of one (problem, baseline) pair."""
+        return ratio_stats(self.ratios(problem, baseline))
+
+    def stats_table(self) -> Dict[str, Dict[str, RatioStats]]:
+        """``{problem: {baseline: RatioStats}}`` for every problem in the result."""
+        table: Dict[str, Dict[str, RatioStats]] = {}
+        for problem in self.problems():
+            table[problem] = {}
+            for baseline in BASELINES:
+                try:
+                    table[problem][baseline] = self.stats(problem, baseline)
+                except KeyError:
+                    continue
+        return table
+
+    # ------------------------------------------------------------------ headline claims
+    def average_speedup(self, baseline: str, category: Optional[str] = None) -> float:
+        """Mean of per-problem average ratios against ``baseline``.
+
+        With ``category="math"`` this reproduces the paper's headline numbers
+        (1.3x over lws=1 and 3.7x over lws=32 for the math kernels).
+        """
+        averages: List[float] = []
+        for problem in self.problems():
+            if category is not None:
+                problem_category = next(r.category for r in self.records
+                                        if r.problem == problem)
+                if problem_category != category:
+                    continue
+            try:
+                averages.append(self.stats(problem, baseline).average)
+            except KeyError:
+                continue
+        if not averages:
+            raise ValueError(f"no problems with category {category!r} and baseline {baseline!r}")
+        return sum(averages) / len(averages)
+
+    def worst_case_slowdown(self, baseline: str) -> float:
+        """Largest ratio observed anywhere (the paper notes "up to 20x slower")."""
+        worst = 0.0
+        for problem in self.problems():
+            try:
+                worst = max(worst, self.stats(problem, baseline).best)
+            except KeyError:
+                continue
+        return worst
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Every record as a dictionary (for CSV/JSON export)."""
+        return [record.as_dict() for record in self.records]
+
+    # ------------------------------------------------------------------ persistence
+    def save_json(self, path) -> None:
+        """Write every sweep record to a JSON file (re-loadable with :meth:`load_json`).
+
+        Long sweeps are expensive on a pure-Python simulator; persisting the
+        raw records lets reports and claims be recomputed without re-running.
+        """
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.as_rows(), indent=1))
+
+    @classmethod
+    def load_json(cls, path) -> "Figure2Result":
+        """Load a result previously written by :meth:`save_json`."""
+        import json
+        from pathlib import Path
+
+        rows = json.loads(Path(path).read_text())
+        return cls(records=[SweepRecord.from_dict(row) for row in rows])
+
+
+# ----------------------------------------------------------------------
+def run_figure2(problem_names: Sequence[str], configs: Sequence[ArchConfig],
+                scale: str = "bench",
+                strategies: Optional[Mapping[str, MappingStrategy]] = None,
+                call_simulation_limit: Optional[int] = DEFAULT_CALL_SIMULATION_LIMIT,
+                seed: int = 0,
+                progress: Optional[callable] = None) -> Figure2Result:
+    """Execute the Figure-2 sweep.
+
+    Parameters
+    ----------
+    problem_names:
+        Which workloads to sweep (names from :mod:`repro.workloads.problems`).
+    configs:
+        Hardware configurations (e.g. from :func:`repro.experiments.configs.paper_sweep`).
+    scale:
+        Problem scale: ``"paper"``, ``"bench"`` or ``"smoke"``.
+    strategies:
+        Mapping strategies keyed by report label; defaults to the paper's three.
+    call_simulation_limit:
+        Passed to the launcher; ``None`` simulates every kernel call exactly.
+    progress:
+        Optional callback ``progress(problem, config, strategy, cycles)`` invoked
+        after every measurement (used for logging in long sweeps).
+    """
+    chosen = dict(strategies) if strategies is not None else dict(PAPER_STRATEGIES)
+    if OURS not in chosen:
+        raise ValueError(f"strategies must include the {OURS!r} mapping")
+    result = Figure2Result()
+    for problem_name in problem_names:
+        problem = make_problem(problem_name, scale=scale, seed=seed)
+        for config in configs:
+            device = Device(config)
+            for label, strategy in chosen.items():
+                lws = strategy.select_local_size(problem.global_size, config)
+                started = time.perf_counter()
+                launch = launch_kernel(
+                    device, problem.kernel, problem.arguments, problem.global_size,
+                    local_size=lws, call_simulation_limit=call_simulation_limit,
+                )
+                elapsed = time.perf_counter() - started
+                record = SweepRecord(
+                    problem=problem.name,
+                    category=problem.category,
+                    config_name=config.name,
+                    hardware_parallelism=config.hardware_parallelism,
+                    strategy=label,
+                    local_size=launch.local_size,
+                    global_size=launch.global_size,
+                    num_calls=launch.num_calls,
+                    cycles=launch.cycles,
+                    lane_utilization=(launch.dispatch.average_lane_utilization
+                                      if launch.dispatch else 0.0),
+                    elapsed_seconds=elapsed,
+                )
+                result.records.append(record)
+                if progress is not None:
+                    progress(problem.name, config.name, label, launch.cycles)
+    return result

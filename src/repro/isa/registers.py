@@ -1,0 +1,97 @@
+"""Control and status registers (CSRs).
+
+The Vortex GPGPU exposes the machine shape and the per-thread work assignment
+to kernels through CSRs; the POCL runtime reads them to resolve
+``get_global_id`` and friends.  The simulator mirrors that: the launcher
+populates per-lane CSR values before a kernel call starts and kernels read
+them with :data:`~repro.isa.opcodes.Opcode.CSRR`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Csr(enum.IntEnum):
+    """CSR numbers readable from kernels.
+
+    Hardware-shape CSRs are uniform across lanes; assignment CSRs
+    (``WORKGROUP_ID``, ``LOCAL_COUNT``) are per-lane values written by the
+    dispatcher for every kernel call.
+    """
+
+    # hardware identification
+    THREAD_ID = 0x20      # lane index within the warp
+    WARP_ID = 0x21        # warp index within the core
+    CORE_ID = 0x22        # core index within the device
+    NUM_THREADS = 0x23    # lanes per warp
+    NUM_WARPS = 0x24      # warps per core
+    NUM_CORES = 0x25      # cores in the device
+    # kernel-call work assignment (written by the dispatcher)
+    WORKGROUP_ID = 0x30   # flattened workgroup index assigned to this lane
+    LOCAL_COUNT = 0x31    # number of work-items this lane must iterate over
+    LOCAL_SIZE = 0x32     # the local_work_size (lws) of the launch
+    GLOBAL_SIZE = 0x33    # the flattened global work size (gws)
+    NUM_GROUPS = 0x34     # total number of workgroups in the launch
+    CALL_INDEX = 0x35     # index of the current kernel call (0-based)
+    # user scalar-argument window (kernel scalar args are passed via CSRs,
+    # mirroring Vortex's argument buffer)
+    ARG_BASE = 0x40
+
+
+#: Number of scalar-argument CSR slots available to kernels.
+NUM_ARG_SLOTS = 32
+
+
+@dataclass
+class CsrFile:
+    """Per-lane CSR values for one warp.
+
+    The dispatcher builds one :class:`CsrFile` per warp per kernel call.
+    Hardware-shape values are scalars; assignment values are per-lane lists.
+    """
+
+    num_threads: int
+    num_warps: int
+    num_cores: int
+    warp_id: int = 0
+    core_id: int = 0
+    workgroup_ids: list = field(default_factory=list)
+    local_counts: list = field(default_factory=list)
+    local_size: int = 1
+    global_size: int = 1
+    num_groups: int = 1
+    call_index: int = 0
+    args: Dict[int, float] = field(default_factory=dict)
+
+    def read(self, csr: int, lane: int) -> float:
+        """Return the value of ``csr`` as seen by ``lane``."""
+        if csr == Csr.THREAD_ID:
+            return lane
+        if csr == Csr.WARP_ID:
+            return self.warp_id
+        if csr == Csr.CORE_ID:
+            return self.core_id
+        if csr == Csr.NUM_THREADS:
+            return self.num_threads
+        if csr == Csr.NUM_WARPS:
+            return self.num_warps
+        if csr == Csr.NUM_CORES:
+            return self.num_cores
+        if csr == Csr.WORKGROUP_ID:
+            return self.workgroup_ids[lane] if lane < len(self.workgroup_ids) else 0
+        if csr == Csr.LOCAL_COUNT:
+            return self.local_counts[lane] if lane < len(self.local_counts) else 0
+        if csr == Csr.LOCAL_SIZE:
+            return self.local_size
+        if csr == Csr.GLOBAL_SIZE:
+            return self.global_size
+        if csr == Csr.NUM_GROUPS:
+            return self.num_groups
+        if csr == Csr.CALL_INDEX:
+            return self.call_index
+        if Csr.ARG_BASE <= csr < Csr.ARG_BASE + NUM_ARG_SLOTS:
+            return self.args.get(csr - Csr.ARG_BASE, 0.0)
+        raise KeyError(f"unknown CSR 0x{csr:x}")

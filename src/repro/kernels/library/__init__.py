@@ -1,0 +1,52 @@
+"""The paper's kernel library.
+
+Nine workloads are evaluated in the paper's Figure 2; each module below
+implements one of them against the kernel DSL and registers it with the
+kernel registry:
+
+* :mod:`vecadd`  -- 4096-element vector addition (also the Figure-1 example).
+* :mod:`relu`    -- element-wise rectified linear unit.
+* :mod:`saxpy`   -- single-precision ``y = a*x + y``.
+* :mod:`sgemm`   -- dense matrix multiply (paper: 256 x 16, K=144).
+* :mod:`knn`     -- nearest-neighbour distance kernel (Rodinia-style ``nn``).
+* :mod:`gaussian`-- 2D Gaussian blur filter (paper: 360 x 360).
+* :mod:`gcn`     -- GCN neighbourhood aggregation and a combined GCN layer
+  (paper: Cora, hidden size 16).
+* :mod:`conv2d`  -- a 3x3 convolution + ReLU layer as used by ResNet20 on
+  CIFAR-10 (paper: 16 channels).
+"""
+
+from repro.kernels.library.conv2d import CONV2D
+from repro.kernels.library.gaussian import GAUSSIAN
+from repro.kernels.library.gcn import GCN_AGGREGATE, GCN_LAYER
+from repro.kernels.library.knn import KNN
+from repro.kernels.library.relu import RELU
+from repro.kernels.library.saxpy import SAXPY
+from repro.kernels.library.sgemm import SGEMM
+from repro.kernels.library.vecadd import VECADD
+
+#: All library kernels in the order they appear in the paper's Figure 2.
+ALL_KERNELS = (
+    KNN,
+    VECADD,
+    RELU,
+    SAXPY,
+    SGEMM,
+    GAUSSIAN,
+    GCN_AGGREGATE,
+    CONV2D,
+    GCN_LAYER,
+)
+
+__all__ = [
+    "ALL_KERNELS",
+    "CONV2D",
+    "GAUSSIAN",
+    "GCN_AGGREGATE",
+    "GCN_LAYER",
+    "KNN",
+    "RELU",
+    "SAXPY",
+    "SGEMM",
+    "VECADD",
+]

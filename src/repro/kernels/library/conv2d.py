@@ -1,0 +1,88 @@
+"""3x3 convolution + ReLU layer (``conv2d``) -- the ResNet20 workload.
+
+The paper's ``ResNet20 CIFAR-10, 1 layer, ch. 16`` workload is a standard
+3x3 same-padded convolution with 16 input and 16 output channels over a
+32 x 32 feature map, followed by ReLU.  One work-item computes one output
+element (a single (channel, y, x) position), so the flattened global work
+size is ``out_channels * height * width``::
+
+    oc = gid // (H * W); rest = gid % (H * W); y = rest // W; x = rest % W
+    out[oc, y, x] = relu( sum_{ic, ky, kx} in[ic, y+ky-1, x+kx-1] * w[oc, ic, ky, kx] )
+
+Out-of-image taps contribute zero (zero padding), implemented with a
+branch-free validity mask so warps stay convergent.  Tensors are stored in
+channel-major (CHW) row-major layout; weights are ``[oc, ic, ky, kx]``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.kernel import Kernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.signature import BufferParam, ScalarParam
+from repro.kernels.values import INT, Value
+
+
+def _body(b: KernelBuilder, gid: Value, args: Mapping[str, Value]) -> None:
+    width = args["width"]
+    height = args["height"]
+    in_channels = args["in_channels"]
+    with b.section("index"):
+        plane = height * width
+        oc = gid // plane
+        rest = gid % plane
+        y = rest // width
+        x = rest % width
+        zero = b.const(0)
+        weight_base = oc * (in_channels * 9)
+    with b.section("compute"):
+        acc = b.copy(b.const(0.0))
+        with b.for_range(in_channels, guard=False) as ic:
+            with b.section("index"):
+                in_plane_base = ic * plane
+                w_channel_base = weight_base + ic * 9
+            with b.for_range(9, guard=False) as tap:
+                with b.section("index"):
+                    dy = tap // 3 - 1
+                    dx = tap % 3 - 1
+                    ny = y + dy
+                    nx = x + dx
+                    # validity mask: 1 when the tap lands inside the image
+                    valid_y = b.logical_and(zero <= ny, ny < height)
+                    valid_x = b.logical_and(zero <= nx, nx < width)
+                    valid = b.to_float(b.logical_and(valid_y, valid_x))
+                    # clamp the address so masked-off taps still load in bounds
+                    cy = b.minimum(b.maximum(ny, zero), height - 1)
+                    cx = b.minimum(b.maximum(nx, zero), width - 1)
+                    offset = in_plane_base + cy * width + cx
+                with b.section("load"):
+                    pixel = b.load(args["input"], offset)
+                    weight = b.load(args["weights"], w_channel_base + tap)
+                with b.section("mac"):
+                    b.move(acc, b.fma(valid * pixel, weight, acc))
+        activated = b.maximum(acc, b.const(0.0))
+    with b.section("store"):
+        b.store(activated, args["output"], gid)
+
+
+def make_conv2d_kernel() -> Kernel:
+    """Build the 3x3 conv + ReLU kernel (one output element per work-item)."""
+    return Kernel(
+        name="conv2d",
+        params=(
+            BufferParam("input"),
+            BufferParam("weights"),
+            BufferParam("output", writable=True),
+            ScalarParam("width", kind=INT),
+            ScalarParam("height", kind=INT),
+            ScalarParam("in_channels", kind=INT),
+        ),
+        body=_body,
+        description="3x3 same-padded convolution + ReLU (ResNet20 basic layer)",
+        tags=("ml", "cnn", "compute-bound"),
+    )
+
+
+CONV2D = register_kernel(make_conv2d_kernel())

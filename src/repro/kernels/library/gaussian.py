@@ -1,0 +1,74 @@
+"""2D Gaussian blur filter (``gaussian``).
+
+The paper evaluates a Gaussian filter on a 360 x 360 image.  One work-item
+computes one output pixel by convolving a 3x3 Gaussian window around it;
+border pixels clamp their neighbourhood to the image (replicate padding),
+implemented branch-free with min/max so the kernel stays convergent::
+
+    y = gid // width ; x = gid % width
+    out[y, x] = sum_{dy,dx} w[dy,dx] * img[clamp(y+dy), clamp(x+dx)]
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.kernel import Kernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.signature import BufferParam, ScalarParam
+from repro.kernels.values import INT, Value
+
+#: 3x3 Gaussian weights (sigma ~ 0.85), normalised to sum to one.
+GAUSSIAN_WEIGHTS = (
+    1.0 / 16, 2.0 / 16, 1.0 / 16,
+    2.0 / 16, 4.0 / 16, 2.0 / 16,
+    1.0 / 16, 2.0 / 16, 1.0 / 16,
+)
+
+
+def _body(b: KernelBuilder, gid: Value, args: Mapping[str, Value]) -> None:
+    width = args["width"]
+    height = args["height"]
+    with b.section("index"):
+        y = gid // width
+        x = gid % width
+        zero = b.const(0)
+        max_x = width - 1
+        max_y = height - 1
+    with b.section("compute"):
+        acc = b.copy(b.const(0.0))
+        with b.for_range(9, guard=False) as tap:
+            with b.section("index"):
+                dy = tap // 3 - 1
+                dx = tap % 3 - 1
+                ny = b.minimum(b.maximum(y + dy, zero), max_y)
+                nx = b.minimum(b.maximum(x + dx, zero), max_x)
+                offset = ny * width + nx
+            with b.section("load"):
+                pixel = b.load(args["img"], offset)
+                weight = b.load(args["weights"], tap)
+            with b.section("mac"):
+                b.move(acc, b.fma(weight, pixel, acc))
+    with b.section("store"):
+        b.store(acc, args["out"], gid)
+
+
+def make_gaussian_kernel() -> Kernel:
+    """Build the 3x3 Gaussian blur kernel (one output pixel per work-item)."""
+    return Kernel(
+        name="gaussian",
+        params=(
+            BufferParam("img"),
+            BufferParam("weights"),
+            BufferParam("out", writable=True),
+            ScalarParam("width", kind=INT),
+            ScalarParam("height", kind=INT),
+        ),
+        body=_body,
+        description="3x3 Gaussian blur with replicate padding",
+        tags=("math", "stencil"),
+    )
+
+
+GAUSSIAN = register_kernel(make_gaussian_kernel())

@@ -1,0 +1,52 @@
+"""Nearest-neighbour distance kernel (``knn``).
+
+The paper's ``kNN 42764 pts`` workload is the Rodinia ``nn`` benchmark: every
+work-item computes the Euclidean distance between one record (latitude /
+longitude pair) and the query point; the host then selects the k smallest
+distances.  One work-item handles one point::
+
+    d[gid] = sqrt((lat[gid] - lat_q)^2 + (lng[gid] - lng_q)^2)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.kernel import Kernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.signature import BufferParam, ScalarParam
+from repro.kernels.values import FLOAT, Value
+
+
+def _body(b: KernelBuilder, gid: Value, args: Mapping[str, Value]) -> None:
+    with b.section("load"):
+        lat = b.load(args["lat"], gid)
+        lng = b.load(args["lng"], gid)
+    with b.section("compute"):
+        dlat = lat - args["lat_q"]
+        dlng = lng - args["lng_q"]
+        dist2 = b.fma(dlat, dlat, dlng * dlng)
+        dist = b.sqrt(dist2)
+    with b.section("store"):
+        b.store(dist, args["dist"], gid)
+
+
+def make_knn_kernel() -> Kernel:
+    """Build the ``knn`` distance kernel (one point's distance per work-item)."""
+    return Kernel(
+        name="knn",
+        params=(
+            BufferParam("lat"),
+            BufferParam("lng"),
+            BufferParam("dist", writable=True),
+            ScalarParam("lat_q", kind=FLOAT),
+            ScalarParam("lng_q", kind=FLOAT),
+        ),
+        body=_body,
+        description="nearest-neighbour Euclidean distance to a query point",
+        tags=("math", "memory-bound", "irregular"),
+    )
+
+
+KNN = register_kernel(make_knn_kernel())

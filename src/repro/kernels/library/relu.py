@@ -1,0 +1,44 @@
+"""Element-wise rectified linear unit (``relu``).
+
+One of the Figure-2 math kernels (length 4096).  One work-item computes one
+output element::
+
+    out[gid] = max(in[gid], 0.0)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.kernel import Kernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.signature import BufferParam
+from repro.kernels.values import Value
+
+
+def _body(b: KernelBuilder, gid: Value, args: Mapping[str, Value]) -> None:
+    with b.section("load"):
+        x = b.load(args["x"], gid)
+    with b.section("compute"):
+        zero = b.const(0.0)
+        y = b.maximum(x, zero)
+    with b.section("store"):
+        b.store(y, args["y"], gid)
+
+
+def make_relu_kernel() -> Kernel:
+    """Build the ``relu`` kernel (y = max(x, 0), one element per work-item)."""
+    return Kernel(
+        name="relu",
+        params=(
+            BufferParam("x"),
+            BufferParam("y", writable=True),
+        ),
+        body=_body,
+        description="element-wise ReLU y[i] = max(x[i], 0)",
+        tags=("math", "memory-bound"),
+    )
+
+
+RELU = register_kernel(make_relu_kernel())

@@ -1,0 +1,45 @@
+"""Single-precision a*x plus y (``saxpy``).
+
+One of the Figure-2 math kernels (length 4096).  One work-item computes one
+output element::
+
+    y[gid] = a * x[gid] + y[gid]
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.kernel import Kernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.signature import BufferParam, ScalarParam
+from repro.kernels.values import FLOAT, Value
+
+
+def _body(b: KernelBuilder, gid: Value, args: Mapping[str, Value]) -> None:
+    with b.section("load"):
+        x = b.load(args["x"], gid)
+        y = b.load(args["y"], gid)
+    with b.section("compute"):
+        result = b.fma(args["a"], x, y)
+    with b.section("store"):
+        b.store(result, args["y"], gid)
+
+
+def make_saxpy_kernel() -> Kernel:
+    """Build the ``saxpy`` kernel (y = a*x + y, one element per work-item)."""
+    return Kernel(
+        name="saxpy",
+        params=(
+            BufferParam("x"),
+            BufferParam("y", writable=True),
+            ScalarParam("a", kind=FLOAT),
+        ),
+        body=_body,
+        description="saxpy y[i] = a * x[i] + y[i]",
+        tags=("math", "memory-bound"),
+    )
+
+
+SAXPY = register_kernel(make_saxpy_kernel())

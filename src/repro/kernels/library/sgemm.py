@@ -1,0 +1,62 @@
+"""Dense single-precision matrix multiply (``sgemm``).
+
+The paper evaluates ``sgemm`` with ``x: 256, y: 16, z: 144`` -- a 256 x 144
+matrix times a 144 x 16 matrix.  One work-item computes one output element,
+so the flattened global work size is ``M * N``::
+
+    row = gid // N
+    col = gid %  N
+    C[row, col] = sum_k A[row, k] * B[k, col]
+
+Matrices are stored row-major.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.kernel import Kernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.signature import BufferParam, ScalarParam
+from repro.kernels.values import INT, Value
+
+
+def _body(b: KernelBuilder, gid: Value, args: Mapping[str, Value]) -> None:
+    n = args["n"]
+    k_dim = args["k"]
+    with b.section("index"):
+        row = gid // n
+        col = gid % n
+        a_row = row * k_dim          # offset of A[row, 0]
+    with b.section("compute"):
+        acc = b.copy(b.const(0.0))
+        with b.for_range(k_dim, guard=False) as k:
+            with b.section("load"):
+                a_elem = b.load(args["a"], a_row + k)
+                b_elem = b.load(args["b"], k * n + col)
+            with b.section("mac"):
+                b.move(acc, b.fma(a_elem, b_elem, acc))
+    with b.section("store"):
+        b.store(acc, args["c"], gid)
+
+
+def make_sgemm_kernel() -> Kernel:
+    """Build the ``sgemm`` kernel (C = A @ B, one output element per work-item)."""
+    return Kernel(
+        name="sgemm",
+        params=(
+            BufferParam("a"),
+            BufferParam("b"),
+            BufferParam("c", writable=True),
+            ScalarParam("m", kind=INT),
+            ScalarParam("n", kind=INT),
+            ScalarParam("k", kind=INT),
+        ),
+        body=_body,
+        description="dense matrix multiply C[MxN] = A[MxK] @ B[KxN]",
+        tags=("math", "compute-bound"),
+    )
+
+
+SGEMM = register_kernel(make_sgemm_kernel())

@@ -1,0 +1,46 @@
+"""Element-wise vector addition (``vecadd``).
+
+The paper's running example (Figure 1 traces a 128-element vecadd on a
+1-core/2-warp/4-thread machine) and one of the Figure-2 math kernels
+(length 4096).  One work-item computes one output element::
+
+    c[gid] = a[gid] + b[gid]
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.kernel import Kernel
+from repro.kernels.registry import register_kernel
+from repro.kernels.signature import BufferParam
+from repro.kernels.values import Value
+
+
+def _body(b: KernelBuilder, gid: Value, args: Mapping[str, Value]) -> None:
+    with b.section("load"):
+        x = b.load(args["a"], gid)
+        y = b.load(args["b"], gid)
+    with b.section("compute"):
+        total = x + y
+    with b.section("store"):
+        b.store(total, args["c"], gid)
+
+
+def make_vecadd_kernel() -> Kernel:
+    """Build the ``vecadd`` kernel (c = a + b, one element per work-item)."""
+    return Kernel(
+        name="vecadd",
+        params=(
+            BufferParam("a"),
+            BufferParam("b"),
+            BufferParam("c", writable=True),
+        ),
+        body=_body,
+        description="element-wise vector addition c[i] = a[i] + b[i]",
+        tags=("math", "memory-bound"),
+    )
+
+
+VECADD = register_kernel(make_vecadd_kernel())

@@ -1,0 +1,68 @@
+"""Kernel parameter declarations.
+
+A kernel's signature is an ordered list of parameters.  Buffer parameters are
+passed to the device as base word-addresses; scalar parameters are passed by
+value.  Both travel through the argument CSR window
+(:data:`repro.isa.registers.Csr.ARG_BASE`), mirroring how the Vortex runtime
+hands an argument buffer to kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.kernels.values import FLOAT, INT
+
+
+@dataclass(frozen=True)
+class KernelParam:
+    """Base class for kernel parameters."""
+
+    name: str
+
+    @property
+    def dtype(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BufferParam(KernelParam):
+    """A global-memory buffer argument.
+
+    ``writable`` marks output buffers (used by the runtime to know which
+    buffers must be copied back and by tests to check read-only buffers are
+    not clobbered).
+    """
+
+    writable: bool = False
+
+    @property
+    def dtype(self) -> str:
+        return INT  # the kernel sees the base word-address as an integer
+
+
+@dataclass(frozen=True)
+class ScalarParam(KernelParam):
+    """A by-value scalar argument (``int`` or ``float``)."""
+
+    kind: str = INT
+
+    def __post_init__(self):
+        if self.kind not in (INT, FLOAT):
+            raise ValueError(f"scalar kind must be 'i' or 'f', got {self.kind!r}")
+
+    @property
+    def dtype(self) -> str:
+        return self.kind
+
+
+def validate_signature(params: Tuple[KernelParam, ...]) -> None:
+    """Check that parameter names are unique and non-empty."""
+    seen = set()
+    for param in params:
+        if not param.name:
+            raise ValueError("kernel parameters need a name")
+        if param.name in seen:
+            raise ValueError(f"duplicate kernel parameter {param.name!r}")
+        seen.add(param.name)

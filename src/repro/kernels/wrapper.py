@@ -1,0 +1,88 @@
+"""Workgroup wrapper: the POCL-style loop around a kernel body.
+
+On Vortex the POCL compiler emits a *workgroup function*: each hardware thread
+receives one workgroup and loops over its ``local_work_size`` work-items.  The
+``lws`` value therefore "determines the iterations each thread loops around
+the kernel" (paper, Section 2).  :func:`build_workgroup_program` reproduces
+that structure:
+
+.. code-block:: text
+
+    init:   read CSRs (workgroup id, iteration count, lws, gws), load arguments
+    index:  first_gid = workgroup_id * lws
+    loop:   for i in range(local_count):          # LOOP_BEGIN / LOOP_END
+    index:      gid = first_gid + i
+    body:       <kernel body>                     # the per-work-item code
+    loop:       i += 1; continue while i < count
+    exit:   halt
+
+The same program is reused for every launch of a kernel: the lws, the
+workgroup assignment and the per-lane iteration count arrive through CSRs, so
+changing the mapping never requires recompilation -- this is what makes the
+paper's *runtime* lws selection possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.program import Program
+from repro.isa.registers import Csr
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.kernel import Kernel
+
+# Section tags used by the wrapper; kernels may introduce extra tags inside
+# their body (e.g. "load", "mac") which simply nest under "body".
+SECTION_INIT = "init"
+SECTION_INDEX = "index"
+SECTION_BODY = "body"
+SECTION_LOOP = "loop"
+SECTION_EXIT = "exit"
+
+_WRAPPER_CACHE: Dict[str, Program] = {}
+
+
+def build_workgroup_program(kernel: Kernel, use_cache: bool = True) -> Program:
+    """Build (or fetch from cache) the executable workgroup program of ``kernel``.
+
+    The program is mapping-agnostic: every mapping parameter is read from CSRs
+    at run time, so a single compiled program serves every (gws, lws, hardware)
+    combination.
+    """
+    if use_cache and kernel.name in _WRAPPER_CACHE:
+        return _WRAPPER_CACHE[kernel.name]
+
+    builder = KernelBuilder(f"{kernel.name}_wg")
+    with builder.section(SECTION_INIT):
+        args = kernel.emit_argument_loads(builder)
+        local_count = builder.csr(Csr.LOCAL_COUNT)
+        lws = builder.csr(Csr.LOCAL_SIZE)
+        workgroup_id = builder.csr(Csr.WORKGROUP_ID)
+
+    with builder.section(SECTION_INDEX):
+        first_gid = workgroup_id * lws
+
+    with builder.section(SECTION_LOOP):
+        loop = builder.for_range(local_count, guard=True)
+        local_index = loop.__enter__()
+    try:
+        with builder.section(SECTION_INDEX):
+            gid = first_gid + local_index
+        with builder.section(SECTION_BODY):
+            kernel.emit_body(builder, gid, args)
+    finally:
+        with builder.section(SECTION_LOOP):
+            loop.__exit__(None, None, None)
+
+    with builder.section(SECTION_EXIT):
+        builder.halt()
+
+    program = builder.link(metadata={"kernel": kernel.name, "wrapper": "workgroup-loop"})
+    if use_cache:
+        _WRAPPER_CACHE[kernel.name] = program
+    return program
+
+
+def clear_wrapper_cache() -> None:
+    """Drop all cached workgroup programs (mainly useful in tests)."""
+    _WRAPPER_CACHE.clear()

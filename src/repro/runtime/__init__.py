@@ -1,0 +1,43 @@
+"""Host runtime (mini-POCL) for the simulated Vortex-like GPGPU.
+
+This package mirrors the software stack the paper analyses: an OpenCL-style
+host API on top of a runtime that decomposes an ND-range into workgroups,
+maps workgroups onto the machine's cores/warps/threads (threads first, then
+warps, split equally across cores -- the Vortex rule), issues as many
+sequential kernel calls as needed, and accounts for the launch overhead every
+call pays.
+
+* :class:`~repro.runtime.device.Device` -- owns the simulated GPU and device
+  memory; answers the hardware-parallelism query the paper's Eq. 1 needs.
+* :class:`~repro.runtime.ndrange.NDRange` -- global/local work size handling.
+* :class:`~repro.runtime.dispatcher.DispatchPlan` -- the workgroup placement
+  for every kernel call of a launch.
+* :func:`~repro.runtime.launcher.launch_kernel` -- run a kernel end to end and
+  return cycles + performance counters.
+* :class:`~repro.runtime.api.Context` / :class:`~repro.runtime.api.CommandQueue`
+  -- the OpenCL-flavoured host API used by the examples.
+"""
+
+from repro.runtime.buffers import Buffer, BufferAllocator
+from repro.runtime.device import Device
+from repro.runtime.dispatcher import CallPlan, DispatchPlan, build_dispatch_plan
+from repro.runtime.errors import AllocationError, LaunchError
+from repro.runtime.launcher import LaunchResult, launch_kernel
+from repro.runtime.ndrange import NDRange
+from repro.runtime.api import CommandQueue, Context
+
+__all__ = [
+    "AllocationError",
+    "Buffer",
+    "BufferAllocator",
+    "CallPlan",
+    "CommandQueue",
+    "Context",
+    "Device",
+    "DispatchPlan",
+    "LaunchError",
+    "LaunchResult",
+    "NDRange",
+    "build_dispatch_plan",
+    "launch_kernel",
+]

@@ -1,0 +1,15 @@
+"""Runtime error types."""
+
+from __future__ import annotations
+
+
+class RuntimeLayerError(RuntimeError):
+    """Base class for host-runtime errors."""
+
+
+class AllocationError(RuntimeLayerError):
+    """Raised when device memory cannot satisfy an allocation request."""
+
+
+class LaunchError(RuntimeLayerError):
+    """Raised when a kernel launch is malformed (bad arguments, sizes, ...)."""

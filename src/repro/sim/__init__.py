@@ -1,0 +1,32 @@
+"""Cycle-level model of a Vortex-like SIMT GPGPU.
+
+The simulator plays the role of the Vortex RTL/simX platform in the original
+paper: it executes the SIMT programs produced by the kernel DSL on a
+configurable grid of ``cores x warps x threads``, models an in-order
+single-issue pipeline per core with a warp scheduler, scoreboard, functional
+unit latencies, memory coalescing, per-core L1 caches, a shared L2 and a
+bandwidth-limited DRAM, and reports cycle counts, performance counters and
+(optionally) instruction-issue traces.
+
+Public surface:
+
+* :class:`~repro.sim.config.ArchConfig` -- the micro-architecture parameters
+  the paper's technique analyses at runtime.
+* :class:`~repro.sim.gpu.Gpu` -- the device model; executes one kernel call.
+* :class:`~repro.sim.gpu.WarpLaunch` / :class:`~repro.sim.gpu.CallResult` --
+  the launch descriptor and result of one kernel call.
+* :class:`~repro.sim.stats.PerfCounters` -- aggregated performance counters.
+"""
+
+from repro.sim.config import ArchConfig, ConfigError
+from repro.sim.gpu import CallResult, Gpu, WarpLaunch
+from repro.sim.stats import PerfCounters
+
+__all__ = [
+    "ArchConfig",
+    "CallResult",
+    "ConfigError",
+    "Gpu",
+    "PerfCounters",
+    "WarpLaunch",
+]

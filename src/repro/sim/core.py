@@ -1,0 +1,478 @@
+"""SIMT core model: functional execution + cycle-level issue timing.
+
+Each core is an in-order, single-issue machine holding ``warps_per_core``
+warps.  Every cycle the warp scheduler (round-robin, oldest-first among ready
+warps) issues at most one instruction.  An instruction can issue when
+
+* the warp is runnable (not halted, not parked at a barrier),
+* its source and destination registers have no pending writes (scoreboard),
+* the functional unit it needs is not busy (only the SFU and LSU have
+  initiation intervals greater than one), and
+* the warp's minimum issue spacing has elapsed.
+
+Issued instructions execute functionally right away (registers and memory are
+updated with real values) and their latency is charged through the scoreboard,
+so dependent instructions wait the correct number of cycles.  Memory
+instructions are coalesced into cache-line requests and walk the memory
+hierarchy to obtain their latency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.latencies import FunctionalUnit, timing_for
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.program import Program
+from repro.sim.config import ArchConfig
+from repro.sim.memory.coalescer import coalesce
+from repro.sim.memory.hierarchy import MemoryHierarchy
+from repro.sim.memory.mainmem import MainMemory
+from repro.sim.scheduler import make_scheduler
+from repro.sim.stats import PerfCounters
+from repro.sim.warp import Warp, popcount
+
+#: Sentinel returned by :meth:`SimtCore.next_event_hint` when the core is drained.
+NEVER = float("inf")
+
+
+class SimulationError(RuntimeError):
+    """Raised when a kernel performs an illegal operation (bad PC, div by zero...)."""
+
+
+class SimtCore:
+    """One SIMT core executing a single program on its warps."""
+
+    def __init__(self, core_id: int, config: ArchConfig, program: Program,
+                 hierarchy: MemoryHierarchy, memory: MainMemory,
+                 counters: PerfCounters, tracer=None):
+        self.core_id = core_id
+        self.config = config
+        self.program = program
+        self.hierarchy = hierarchy
+        self.memory = memory
+        self.counters = counters
+        self.tracer = tracer
+        self.warps: List[Warp] = []
+        self._scheduler = make_scheduler(config.warp_scheduler, config.warps_per_core)
+        self._fu_busy_until: Dict[FunctionalUnit, int] = {unit: 0 for unit in FunctionalUnit}
+        self._barrier_waiting = 0
+        self._next_event_hint: float = 0
+        self._exec_table: Dict[Opcode, Callable] = self._build_exec_table()
+
+    # ------------------------------------------------------------------ setup
+    def add_warp(self, warp: Warp) -> None:
+        """Attach a warp (created by the launcher) to this core."""
+        self.warps.append(warp)
+
+    @property
+    def busy(self) -> bool:
+        """True while at least one warp has not halted."""
+        return any(not w.halted for w in self.warps)
+
+    @property
+    def next_event_hint(self) -> float:
+        """Earliest cycle at which an issue may become possible (valid after a failed issue)."""
+        return self._next_event_hint
+
+    # ------------------------------------------------------------------ issue
+    def try_issue(self, cycle: int) -> bool:
+        """Attempt to issue one instruction at ``cycle``.
+
+        Returns True on issue.  On failure, :attr:`next_event_hint` is updated
+        with the earliest cycle at which retrying can succeed.
+        """
+        num_warps = len(self.warps)
+        if num_warps == 0:
+            self._next_event_hint = NEVER
+            return False
+        earliest = NEVER
+        for index in self._scheduler.priority_order():
+            if index >= num_warps:
+                continue
+            warp = self.warps[index]
+            if warp.halted or warp.at_barrier:
+                continue
+            ready_at = self._warp_ready_cycle(warp)
+            if ready_at <= cycle:
+                self._issue(warp, cycle)
+                self._scheduler.issued(index)
+                return True
+            if ready_at < earliest:
+                earliest = ready_at
+        self._next_event_hint = earliest
+        return False
+
+    def _warp_ready_cycle(self, warp: Warp) -> float:
+        """Cycle at which ``warp``'s next instruction could issue."""
+        if warp.pc >= len(self.program):
+            raise SimulationError(
+                f"core {self.core_id} warp {warp.warp_id}: PC {warp.pc} ran off the program"
+            )
+        instr = self.program[warp.pc]
+        ready = warp.next_issue_cycle
+        regs = instr.srcs if instr.dst is None else instr.srcs + (instr.dst,)
+        reg_ready = warp.registers_ready_cycle(regs)
+        if reg_ready > ready:
+            ready = reg_ready
+        timing = timing_for(instr.opcode, self.config.timing_overrides)
+        fu_free = self._fu_busy_until[timing.unit]
+        if fu_free > ready:
+            ready = fu_free
+        return ready
+
+    def _issue(self, warp: Warp, cycle: int) -> None:
+        instr = self.program[warp.pc]
+        issue_pc = warp.pc
+        timing = timing_for(instr.opcode, self.config.timing_overrides)
+
+        active = popcount(warp.active_mask)
+        self._count_instruction(instr, active)
+        if self.tracer is not None:
+            self.tracer.record(cycle=cycle, core=self.core_id, warp=warp.warp_id,
+                               pc=issue_pc, opcode=instr.opcode, mask=warp.active_mask,
+                               section=instr.section)
+
+        handler = self._exec_table[instr.opcode]
+        latency = handler(warp, instr, cycle)
+        if latency is None:
+            latency = timing.latency if timing.latency is not None else 1
+
+        if instr.dst is not None:
+            warp.scoreboard[instr.dst] = cycle + latency
+        busy = timing.initiation_interval
+        if instr.opcode in (Opcode.LOAD, Opcode.STORE):
+            # the LSU stays busy one cycle per coalesced line request
+            busy = max(busy, getattr(self, "_last_line_count", 1))
+        if busy > 1:
+            self._fu_busy_until[timing.unit] = cycle + busy
+        warp.next_issue_cycle = cycle + 1
+        warp.retire_completed_writes(cycle)
+
+    def _count_instruction(self, instr: Instruction, active_lanes: int) -> None:
+        c = self.counters
+        c.warp_instructions += 1
+        c.lane_instructions += active_lanes
+        cls = instr.op_class
+        if cls in (OpClass.INT_ALU, OpClass.INT_MUL):
+            c.alu_instructions += 1
+        elif cls is OpClass.FLOAT:
+            c.fpu_instructions += 1
+        elif cls is OpClass.SFU:
+            c.sfu_instructions += 1
+        elif cls is OpClass.MEMORY:
+            c.memory_instructions += 1
+        elif cls in (OpClass.CONTROL, OpClass.SIMT):
+            c.control_instructions += 1
+
+    # ------------------------------------------------------------------ functional execution
+    def _build_exec_table(self) -> Dict[Opcode, Callable]:
+        O = Opcode
+        table: Dict[Opcode, Callable] = {
+            O.LI: self._exec_li,
+            O.MOV: self._exec_mov,
+            O.CSRR: self._exec_csrr,
+            O.LOAD: self._exec_load,
+            O.STORE: self._exec_store,
+            O.JMP: self._exec_jmp,
+            O.SPLIT: self._exec_split,
+            O.JOIN: self._exec_join,
+            O.LOOP_BEGIN: self._exec_loop_begin,
+            O.LOOP_END: self._exec_loop_end,
+            O.BAR: self._exec_bar,
+            O.TMC: self._exec_tmc,
+            O.NOP: self._exec_nop,
+            O.HALT: self._exec_halt,
+            O.FMA: self._exec_fma,
+            O.I2F: self._exec_unary(float),
+            O.F2I: self._exec_unary(lambda a: float(int(a))),
+            O.ABS: self._exec_unary(abs),
+            O.FABS: self._exec_unary(abs),
+            O.NEG: self._exec_unary(lambda a: -a),
+            O.FNEG: self._exec_unary(lambda a: -a),
+            O.FSQRT: self._exec_unary(lambda a: math.sqrt(a) if a > 0.0 else 0.0),
+            O.FEXP: self._exec_unary(math.exp),
+            O.FLOG: self._exec_unary(lambda a: math.log(a) if a > 0.0 else float("-inf")),
+        }
+        binary_ops = {
+            O.ADD: lambda a, b: a + b,
+            O.SUB: lambda a, b: a - b,
+            O.MUL: lambda a, b: a * b,
+            O.AND: lambda a, b: float(int(a) & int(b)),
+            O.OR: lambda a, b: float(int(a) | int(b)),
+            O.XOR: lambda a, b: float(int(a) ^ int(b)),
+            O.SHL: lambda a, b: float(int(a) << int(b)),
+            O.SHR: lambda a, b: float(int(a) >> int(b)),
+            O.SLT: lambda a, b: 1.0 if a < b else 0.0,
+            O.SLE: lambda a, b: 1.0 if a <= b else 0.0,
+            O.SEQ: lambda a, b: 1.0 if a == b else 0.0,
+            O.SNE: lambda a, b: 1.0 if a != b else 0.0,
+            O.MIN: min,
+            O.MAX: max,
+            O.FADD: lambda a, b: a + b,
+            O.FSUB: lambda a, b: a - b,
+            O.FMUL: lambda a, b: a * b,
+            O.FMIN: min,
+            O.FMAX: max,
+            O.FLT: lambda a, b: 1.0 if a < b else 0.0,
+            O.FLE: lambda a, b: 1.0 if a <= b else 0.0,
+            O.FEQ: lambda a, b: 1.0 if a == b else 0.0,
+        }
+        for opcode, fn in binary_ops.items():
+            table[opcode] = self._exec_binary(fn)
+        table[O.DIV] = self._exec_binary(self._safe_div)
+        table[O.FDIV] = self._exec_binary(self._safe_fdiv)
+        table[O.REM] = self._exec_binary(self._safe_rem)
+        return table
+
+    # -- integer division helpers (truncate toward zero, as RISC-V does) ----
+    @staticmethod
+    def _safe_div(a: float, b: float) -> float:
+        if b == 0:
+            raise SimulationError("integer division by zero")
+        return float(math.trunc(a / b))
+
+    @staticmethod
+    def _safe_fdiv(a: float, b: float) -> float:
+        if b == 0.0:
+            raise SimulationError("floating-point division by zero")
+        return a / b
+
+    @staticmethod
+    def _safe_rem(a: float, b: float) -> float:
+        if b == 0:
+            raise SimulationError("integer remainder by zero")
+        return float(a - math.trunc(a / b) * b)
+
+    # -- generic ALU helpers -------------------------------------------------
+    def _exec_binary(self, fn: Callable[[float, float], float]) -> Callable:
+        def run(warp: Warp, instr: Instruction, cycle: int):
+            s0, s1 = instr.srcs
+            dst = instr.dst
+            regs = warp.regs
+            for lane in warp.active_lanes():
+                lane_regs = regs[lane]
+                lane_regs[dst] = fn(lane_regs[s0], lane_regs[s1])
+            warp.pc += 1
+            return None
+        return run
+
+    def _exec_unary(self, fn: Callable[[float], float]) -> Callable:
+        def run(warp: Warp, instr: Instruction, cycle: int):
+            (s0,) = instr.srcs
+            dst = instr.dst
+            for lane in warp.active_lanes():
+                lane_regs = warp.regs[lane]
+                lane_regs[dst] = fn(lane_regs[s0])
+            warp.pc += 1
+            return None
+        return run
+
+    def _exec_fma(self, warp: Warp, instr: Instruction, cycle: int):
+        s0, s1, s2 = instr.srcs
+        dst = instr.dst
+        for lane in warp.active_lanes():
+            lane_regs = warp.regs[lane]
+            lane_regs[dst] = lane_regs[s0] * lane_regs[s1] + lane_regs[s2]
+        warp.pc += 1
+        return None
+
+    def _exec_li(self, warp: Warp, instr: Instruction, cycle: int):
+        value = float(instr.imm)
+        dst = instr.dst
+        for lane in warp.active_lanes():
+            warp.regs[lane][dst] = value
+        warp.pc += 1
+        return None
+
+    def _exec_mov(self, warp: Warp, instr: Instruction, cycle: int):
+        (src,) = instr.srcs
+        dst = instr.dst
+        for lane in warp.active_lanes():
+            lane_regs = warp.regs[lane]
+            lane_regs[dst] = lane_regs[src]
+        warp.pc += 1
+        return None
+
+    def _exec_csrr(self, warp: Warp, instr: Instruction, cycle: int):
+        csr = int(instr.imm)
+        dst = instr.dst
+        for lane in warp.active_lanes():
+            warp.regs[lane][dst] = float(warp.csr.read(csr, lane))
+        warp.pc += 1
+        return None
+
+    # -- memory ---------------------------------------------------------------
+    def _exec_load(self, warp: Warp, instr: Instruction, cycle: int):
+        (addr_reg,) = instr.srcs
+        offset = int(instr.imm or 0)
+        dst = instr.dst
+        lanes = warp.active_lanes()
+        addresses = []
+        for lane in lanes:
+            address = int(warp.regs[lane][addr_reg]) + offset
+            addresses.append(address)
+            warp.regs[lane][dst] = self.memory.read(address)
+        lines = coalesce(addresses, self.hierarchy.line_words)
+        self._last_line_count = len(lines)
+        latency = 1
+        for index, (line, _) in enumerate(lines):
+            result = self.hierarchy.load_line(self.core_id, line, cycle + index)
+            latency = max(latency, index + result.latency)
+            self._count_memory_level(result.level, result.queue_cycles)
+        self.counters.loads += 1
+        self.counters.load_lines += len(lines)
+        warp.pc += 1
+        return latency
+
+    def _exec_store(self, warp: Warp, instr: Instruction, cycle: int):
+        value_reg, addr_reg = instr.srcs
+        offset = int(instr.imm or 0)
+        lanes = warp.active_lanes()
+        addresses = []
+        for lane in lanes:
+            address = int(warp.regs[lane][addr_reg]) + offset
+            addresses.append(address)
+            self.memory.write(address, warp.regs[lane][value_reg])
+        lines = coalesce(addresses, self.hierarchy.line_words)
+        self._last_line_count = len(lines)
+        for index, (line, _) in enumerate(lines):
+            self.hierarchy.store_line(self.core_id, line, cycle + index)
+        self.counters.stores += 1
+        self.counters.store_lines += len(lines)
+        warp.pc += 1
+        return 1
+
+    def _count_memory_level(self, level: str, queue_cycles: int) -> None:
+        c = self.counters
+        if level == "l1":
+            c.l1_hits += 1
+        elif level == "l2":
+            c.l1_misses += 1
+            c.l2_hits += 1
+        elif level == "dram":
+            c.l1_misses += 1
+            c.l2_misses += 1
+            c.dram_lines += 1
+            c.dram_queue_cycles += queue_cycles
+
+    # -- control flow ----------------------------------------------------------
+    def _exec_jmp(self, warp: Warp, instr: Instruction, cycle: int):
+        warp.pc = instr.target
+        return None
+
+    def _exec_split(self, warp: Warp, instr: Instruction, cycle: int):
+        (cond_reg,) = instr.srcs
+        taken = 0
+        for lane in warp.active_lanes():
+            if warp.regs[lane][cond_reg] != 0.0:
+                taken |= 1 << lane
+        full = warp.active_mask
+        not_taken = full & ~taken
+        else_pc, join_pc = instr.target, instr.target2
+        if taken and not_taken:
+            warp.simt_stack.append(("else", not_taken, full, else_pc, join_pc))
+            warp.active_mask = taken
+            warp.pc += 1
+            self.counters.divergent_branches += 1
+        elif taken:
+            warp.simt_stack.append(("join", full, join_pc))
+            warp.pc += 1
+        else:
+            warp.simt_stack.append(("join", full, join_pc))
+            warp.pc = else_pc
+        return None
+
+    def _exec_join(self, warp: Warp, instr: Instruction, cycle: int):
+        if not warp.simt_stack:
+            raise SimulationError(
+                f"core {self.core_id} warp {warp.warp_id}: JOIN with empty SIMT stack at pc {warp.pc}"
+            )
+        entry = warp.simt_stack.pop()
+        if entry[0] == "else":
+            _, not_taken, full, else_pc, join_pc = entry
+            warp.simt_stack.append(("join", full, join_pc))
+            warp.active_mask = not_taken
+            warp.pc = else_pc
+        elif entry[0] == "join":
+            _, mask, join_pc = entry
+            warp.active_mask = mask
+            warp.pc = join_pc
+        else:
+            raise SimulationError(
+                f"core {self.core_id} warp {warp.warp_id}: JOIN found a {entry[0]!r} entry"
+            )
+        return None
+
+    def _exec_loop_begin(self, warp: Warp, instr: Instruction, cycle: int):
+        warp.simt_stack.append(("loop", warp.active_mask))
+        warp.pc += 1
+        return None
+
+    def _exec_loop_end(self, warp: Warp, instr: Instruction, cycle: int):
+        (cond_reg,) = instr.srcs
+        alive = 0
+        for lane in warp.active_lanes():
+            if warp.regs[lane][cond_reg] != 0.0:
+                alive |= 1 << lane
+        if alive:
+            if alive != warp.active_mask:
+                self.counters.divergent_branches += 1
+            warp.active_mask = alive
+            warp.pc = instr.target
+        else:
+            if not warp.simt_stack or warp.simt_stack[-1][0] != "loop":
+                raise SimulationError(
+                    f"core {self.core_id} warp {warp.warp_id}: LOOP_END without LOOP_BEGIN"
+                )
+            _, mask = warp.simt_stack.pop()
+            warp.active_mask = mask
+            warp.pc += 1
+        return None
+
+    # -- SIMT / system -----------------------------------------------------------
+    def _exec_bar(self, warp: Warp, instr: Instruction, cycle: int):
+        warp.at_barrier = True
+        warp.pc += 1
+        self.counters.barriers += 1
+        self._barrier_waiting += 1
+        participants = sum(1 for w in self.warps if not w.halted)
+        if self._barrier_waiting >= participants:
+            self._release_barrier(cycle)
+        return None
+
+    def _release_barrier(self, cycle: int) -> None:
+        for w in self.warps:
+            if w.at_barrier:
+                w.at_barrier = False
+                w.next_issue_cycle = cycle + self.config.barrier_latency
+        self._barrier_waiting = 0
+
+    def _exec_tmc(self, warp: Warp, instr: Instruction, cycle: int):
+        keep = int(instr.imm)
+        if keep <= 0:
+            warp.halted = True
+            self._check_barrier_after_halt(cycle)
+            return None
+        warp.active_mask = (1 << min(keep, warp.lane_count)) - 1
+        warp.pc += 1
+        return None
+
+    def _exec_nop(self, warp: Warp, instr: Instruction, cycle: int):
+        warp.pc += 1
+        return None
+
+    def _exec_halt(self, warp: Warp, instr: Instruction, cycle: int):
+        warp.halted = True
+        self._check_barrier_after_halt(cycle)
+        return None
+
+    def _check_barrier_after_halt(self, cycle: int) -> None:
+        """A halting warp may be the last participant other warps wait for."""
+        if self._barrier_waiting == 0:
+            return
+        participants = sum(1 for w in self.warps if not w.halted)
+        if participants and self._barrier_waiting >= participants:
+            self._release_barrier(cycle)

@@ -1,0 +1,29 @@
+"""Memory subsystem of the simulated GPU.
+
+* :class:`~repro.sim.memory.mainmem.MainMemory` -- the word-addressed backing
+  store holding real data (so kernel results can be checked against numpy).
+* :class:`~repro.sim.memory.cache.Cache` -- a set-associative, LRU, tag-only
+  cache model used for both the per-core L1s and the shared L2.
+* :class:`~repro.sim.memory.dram.DramModel` -- latency + bandwidth-limited
+  DRAM back end.
+* :class:`~repro.sim.memory.coalescer.coalesce` -- groups per-lane word
+  addresses into unique cache-line requests.
+* :class:`~repro.sim.memory.hierarchy.MemoryHierarchy` -- ties L1s, the L2 and
+  DRAM together and produces per-access latencies.
+"""
+
+from repro.sim.memory.cache import Cache
+from repro.sim.memory.coalescer import coalesce
+from repro.sim.memory.dram import DramModel
+from repro.sim.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.sim.memory.mainmem import MainMemory, MemoryError_
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "DramModel",
+    "MainMemory",
+    "MemoryError_",
+    "MemoryHierarchy",
+    "coalesce",
+]

@@ -1,0 +1,91 @@
+"""Memory hierarchy: per-core L1 data caches, shared L2, DRAM.
+
+The hierarchy answers a single question for the core model: *how long does
+this cache-line request take?*  Loads walk L1 -> L2 -> DRAM, filling on the
+way back; stores are write-through (they update LRU state and consume DRAM
+bandwidth but never stall the issuing warp, which matches the write-buffer
+behaviour of small GPU cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.config import ArchConfig
+from repro.sim.memory.cache import Cache
+from repro.sim.memory.dram import DramModel
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache-line request."""
+
+    latency: int          # cycles until the data is available to the warp
+    level: str            # "l1", "l2" or "dram" -- where the request was served
+    queue_cycles: int = 0  # cycles spent waiting for DRAM bandwidth
+
+
+class MemoryHierarchy:
+    """Shared memory system of one simulated GPU."""
+
+    def __init__(self, config: ArchConfig):
+        self.config = config
+        self.l1: List[Cache] = [
+            Cache(f"L1D(core{core})", config.l1_size_words, config.l1_line_words, config.l1_ways)
+            for core in range(config.cores)
+        ]
+        self.l2 = Cache("L2", config.l2_size_words, config.l2_line_words, config.l2_ways)
+        self.dram = DramModel(config.dram_latency, config.dram_lines_per_cycle)
+
+    # ------------------------------------------------------------------
+    @property
+    def line_words(self) -> int:
+        """Cache-line size in words (L1 and L2 share it)."""
+        return self.config.l1_line_words
+
+    def load_line(self, core_id: int, line_address: int, now: int) -> AccessResult:
+        """Timing of a load request for ``line_address`` issued by ``core_id`` at ``now``."""
+        l1 = self.l1[core_id]
+        if l1.access(line_address, write=False):
+            return AccessResult(latency=self.config.l1_hit_latency, level="l1")
+        if self.l2.access(line_address, write=False):
+            latency = self.config.l1_hit_latency + self.config.l2_hit_latency
+            return AccessResult(latency=latency, level="l2")
+        completion = self.dram.access(now)
+        queue = max(0, completion - now - self.config.dram_latency)
+        latency = (self.config.l1_hit_latency + self.config.l2_hit_latency
+                   + (completion - now))
+        return AccessResult(latency=latency, level="dram", queue_cycles=queue)
+
+    def store_line(self, core_id: int, line_address: int, now: int) -> AccessResult:
+        """Timing bookkeeping of a write-through store (never stalls the warp)."""
+        l1 = self.l1[core_id]
+        l1.access(line_address, write=True)
+        self.l2.access(line_address, write=True)
+        # The write still travels to DRAM and consumes bandwidth.
+        self.dram.access(now)
+        return AccessResult(latency=1, level="store")
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop all cached lines and reset DRAM queue state (between launches)."""
+        for cache in self.l1:
+            cache.invalidate()
+            cache.reset_statistics()
+        self.l2.invalidate()
+        self.l2.reset_statistics()
+        self.dram.reset()
+
+    def statistics(self) -> Dict[str, int]:
+        """Aggregate cache/DRAM counters for :class:`~repro.sim.stats.PerfCounters`."""
+        l1_hits = sum(c.hits for c in self.l1)
+        l1_misses = sum(c.misses for c in self.l1)
+        return {
+            "l1_hits": l1_hits,
+            "l1_misses": l1_misses,
+            "l2_hits": self.l2.hits,
+            "l2_misses": self.l2.misses,
+            "dram_lines": self.dram.lines_transferred,
+            "dram_queue_cycles": self.dram.total_queue_cycles,
+        }

@@ -1,0 +1,80 @@
+"""Word-addressed backing store.
+
+The simulator separates *data* from *timing*: every load and store reads or
+writes real values held in a :class:`MainMemory` (a numpy ``float64`` array,
+word addressed), while the caches and DRAM model only decide how long the
+access takes.  Keeping real data around lets every kernel's output be checked
+against a numpy reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class MemoryError_(RuntimeError):
+    """Raised on out-of-bounds device-memory accesses.
+
+    (Named with a trailing underscore to avoid shadowing the Python builtin.)
+    """
+
+
+class MainMemory:
+    """A flat, word-addressed device memory.
+
+    One word corresponds to one 32-bit element of the original system; values
+    are stored as ``float64`` so integer indices survive round-trips exactly.
+    """
+
+    def __init__(self, size_words: int):
+        if size_words <= 0:
+            raise ValueError("memory size must be positive")
+        self._data = np.zeros(size_words, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @property
+    def size_words(self) -> int:
+        """Capacity in words."""
+        return int(self._data.shape[0])
+
+    def _check(self, address: int, count: int = 1) -> None:
+        if address < 0 or address + count > self.size_words:
+            raise MemoryError_(
+                f"access [{address}, {address + count}) outside memory of {self.size_words} words"
+            )
+
+    # ------------------------------------------------------------------ scalar access
+    def read(self, address: int) -> float:
+        """Read one word."""
+        self._check(address)
+        return float(self._data[address])
+
+    def write(self, address: int, value: float) -> None:
+        """Write one word."""
+        self._check(address)
+        self._data[address] = value
+
+    # ------------------------------------------------------------------ block access
+    def read_block(self, address: int, count: int) -> np.ndarray:
+        """Return a copy of ``count`` words starting at ``address``."""
+        self._check(address, count)
+        return self._data[address:address + count].copy()
+
+    def write_block(self, address: int, values: Sequence[float]) -> None:
+        """Write a block of words starting at ``address``."""
+        array = np.asarray(values, dtype=np.float64).ravel()
+        self._check(address, len(array))
+        self._data[address:address + len(array)] = array
+
+    def fill(self, address: int, count: int, value: float = 0.0) -> None:
+        """Set ``count`` words starting at ``address`` to ``value``."""
+        self._check(address, count)
+        self._data[address:address + count] = value
+
+    def view(self) -> np.ndarray:
+        """Read-only view of the whole memory (for debugging and tests)."""
+        result = self._data.view()
+        result.flags.writeable = False
+        return result

@@ -1,0 +1,100 @@
+"""Warp-scheduling policies.
+
+The paper's conclusion notes that "other factors still impact the runtime
+kernel execution in Vortex" beyond the workgroup mapping; the warp scheduler
+is the most prominent one inside a core.  Two classic policies are provided:
+
+* **round-robin** (``"rr"``, the default and the Vortex baseline): rotate the
+  issue priority one warp forward after every issue, giving every warp an even
+  share of the issue slot.
+* **greedy-then-oldest** (``"gto"``): keep issuing from the same warp until it
+  stalls, then switch to the least-recently issued warp.  GTO tends to improve
+  cache locality for kernels whose consecutive iterations touch neighbouring
+  lines, at the cost of fairness.
+
+The policy only decides the *order in which runnable warps are considered*;
+all hazard checks stay in the core model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class WarpScheduler:
+    """Base class: yields warp indices in issue-priority order."""
+
+    name = "base"
+
+    def __init__(self, num_warps: int):
+        if num_warps < 1:
+            raise ValueError("a scheduler needs at least one warp slot")
+        self.num_warps = num_warps
+
+    def priority_order(self) -> List[int]:
+        """Warp indices, highest priority first (length ``num_warps``)."""
+        raise NotImplementedError
+
+    def issued(self, warp_index: int) -> None:
+        """Notify the policy that ``warp_index`` issued this cycle."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(WarpScheduler):
+    """Rotate priority one position past the last issuing warp (Vortex default)."""
+
+    name = "rr"
+
+    def __init__(self, num_warps: int):
+        super().__init__(num_warps)
+        self._next = 0
+
+    def priority_order(self) -> List[int]:
+        return [(self._next + offset) % self.num_warps for offset in range(self.num_warps)]
+
+    def issued(self, warp_index: int) -> None:
+        self._next = (warp_index + 1) % self.num_warps
+
+
+class GreedyThenOldestScheduler(WarpScheduler):
+    """Keep issuing from the current warp; fall back to the least recently issued."""
+
+    name = "gto"
+
+    def __init__(self, num_warps: int):
+        super().__init__(num_warps)
+        self._current = 0
+        # lower = issued longer ago; ties broken by warp index
+        self._last_issue_tick = [0] * num_warps
+        self._tick = 0
+
+    def priority_order(self) -> List[int]:
+        others = sorted((w for w in range(self.num_warps) if w != self._current),
+                        key=lambda w: (self._last_issue_tick[w], w))
+        return [self._current] + others
+
+    def issued(self, warp_index: int) -> None:
+        self._tick += 1
+        self._last_issue_tick[warp_index] = self._tick
+        self._current = warp_index
+
+
+_POLICIES = {
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    GreedyThenOldestScheduler.name: GreedyThenOldestScheduler,
+}
+
+
+def make_scheduler(policy: str, num_warps: int) -> WarpScheduler:
+    """Instantiate the scheduler named ``policy`` (``"rr"`` or ``"gto"``)."""
+    try:
+        cls = _POLICIES[policy]
+    except KeyError:
+        raise ValueError(f"unknown warp-scheduler policy {policy!r}; "
+                         f"expected one of {sorted(_POLICIES)}") from None
+    return cls(num_warps)
+
+
+def available_policies() -> Sequence[str]:
+    """Names of every scheduling policy."""
+    return tuple(sorted(_POLICIES))

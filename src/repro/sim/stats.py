@@ -1,0 +1,117 @@
+"""Performance counters.
+
+:class:`PerfCounters` collects everything the simulator measures during one or
+more kernel calls.  Counters are plain integers/floats so they can be merged
+(added) across calls of a launch, across cores and across launches, serialised
+to dictionaries for reports, and compared in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+@dataclass
+class PerfCounters:
+    """Aggregated counters for one or more simulated kernel calls."""
+
+    # headline numbers
+    cycles: int = 0                  # total cycles including launch overhead
+    active_cycles: int = 0           # cycles where at least one core issued
+    launch_overhead_cycles: int = 0  # cycles charged to kernel-call/warp setup
+    kernel_calls: int = 0
+    warps_launched: int = 0
+
+    # instruction mix (warp granularity and lane granularity)
+    warp_instructions: int = 0
+    lane_instructions: int = 0
+    alu_instructions: int = 0
+    fpu_instructions: int = 0
+    sfu_instructions: int = 0
+    memory_instructions: int = 0
+    control_instructions: int = 0
+
+    # issue behaviour
+    issue_cycles: int = 0            # core-cycles in which an instruction issued
+    stall_cycles: int = 0            # core-cycles in which a busy core could not issue
+    idle_core_cycles: int = 0        # core-cycles in which a core had no runnable warp
+
+    # memory system
+    loads: int = 0
+    stores: int = 0
+    load_lines: int = 0              # coalesced cache-line requests from loads
+    store_lines: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    dram_lines: int = 0
+    dram_queue_cycles: int = 0       # total cycles requests waited for DRAM bandwidth
+
+    # divergence / synchronisation
+    divergent_branches: int = 0
+    barriers: int = 0
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Add ``other``'s counters into this instance (in place) and return self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "PerfCounters":
+        """Return an independent copy."""
+        clone = PerfCounters()
+        for f in fields(self):
+            setattr(clone, f.name, getattr(self, f.name))
+        return clone
+
+    def as_dict(self) -> Dict[str, float]:
+        """Serialise to a plain dictionary (for JSON reports)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "PerfCounters":
+        """Inverse of :meth:`as_dict`; unknown keys are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    # ------------------------------------------------------------------ derived metrics
+    @property
+    def ipc(self) -> float:
+        """Warp instructions issued per cycle (over all cores)."""
+        return self.warp_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def lanes_per_instruction(self) -> float:
+        """Average number of active lanes per issued instruction (SIMT efficiency)."""
+        if not self.warp_instructions:
+            return 0.0
+        return self.lane_instructions / self.warp_instructions
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1 data-cache hit rate over all line requests."""
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Shared L2 hit rate over requests that missed in L1."""
+        total = self.l2_hits + self.l2_misses
+        return self.l2_hits / total if total else 0.0
+
+    @property
+    def memory_intensity(self) -> float:
+        """Fraction of issued instructions that access memory."""
+        if not self.warp_instructions:
+            return 0.0
+        return self.memory_instructions / self.warp_instructions
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"PerfCounters(cycles={self.cycles}, calls={self.kernel_calls}, "
+            f"warp_instr={self.warp_instructions}, ipc={self.ipc:.3f}, "
+            f"l1_hit={self.l1_hit_rate:.2%})"
+        )

@@ -1,0 +1,104 @@
+"""Warp state.
+
+A warp is the hardware scheduling unit: ``threads_per_warp`` lanes executing
+the same instruction stream in lockstep under an active-lane mask.  The warp
+object holds everything the core needs between cycles: the program counter,
+the active mask, the per-lane register file, the SIMT reconvergence stack for
+structured divergence, the CSR file published by the dispatcher, and the
+scoreboard tracking in-flight register writes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.registers import CsrFile
+
+
+def mask_of(lane_count: int) -> int:
+    """Full active mask for ``lane_count`` lanes."""
+    return (1 << lane_count) - 1
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (active lanes) in ``mask``."""
+    return bin(mask).count("1")
+
+
+def lanes_of(mask: int) -> List[int]:
+    """Indices of the active lanes in ``mask`` (ascending)."""
+    lanes = []
+    lane = 0
+    while mask:
+        if mask & 1:
+            lanes.append(lane)
+        mask >>= 1
+        lane += 1
+    return lanes
+
+
+class Warp:
+    """Execution state of one warp on one core."""
+
+    __slots__ = (
+        "warp_id", "lane_count", "pc", "active_mask", "regs", "simt_stack",
+        "csr", "halted", "at_barrier", "next_issue_cycle", "scoreboard",
+        "_lanes_cache", "_lanes_cache_mask",
+    )
+
+    def __init__(self, warp_id: int, lane_count: int, num_registers: int,
+                 csr: CsrFile, active_lanes: Optional[int] = None):
+        if lane_count < 1:
+            raise ValueError("a warp needs at least one lane")
+        active = lane_count if active_lanes is None else active_lanes
+        if not (0 < active <= lane_count):
+            raise ValueError(f"active_lanes must be in 1..{lane_count}, got {active}")
+        self.warp_id = warp_id
+        self.lane_count = lane_count
+        self.pc = 0
+        self.active_mask = mask_of(active)
+        self.regs: List[List[float]] = [[0.0] * num_registers for _ in range(lane_count)]
+        self.simt_stack: List[Tuple] = []
+        self.csr = csr
+        self.halted = False
+        self.at_barrier = False
+        self.next_issue_cycle = 0
+        # register index -> cycle at which the pending write completes
+        self.scoreboard: Dict[int, int] = {}
+        self._lanes_cache: List[int] = lanes_of(self.active_mask)
+        self._lanes_cache_mask = self.active_mask
+
+    # ------------------------------------------------------------------
+    def active_lanes(self) -> List[int]:
+        """Indices of currently active lanes (cached per mask value)."""
+        if self.active_mask != self._lanes_cache_mask:
+            self._lanes_cache = lanes_of(self.active_mask)
+            self._lanes_cache_mask = self.active_mask
+        return self._lanes_cache
+
+    @property
+    def runnable(self) -> bool:
+        """True when the warp still has work and is not parked at a barrier."""
+        return not self.halted and not self.at_barrier
+
+    def registers_ready_cycle(self, registers: Tuple[int, ...]) -> int:
+        """Earliest cycle at which every register in ``registers`` is available."""
+        ready = 0
+        for reg in registers:
+            pending = self.scoreboard.get(reg)
+            if pending is not None and pending > ready:
+                ready = pending
+        return ready
+
+    def retire_completed_writes(self, cycle: int) -> None:
+        """Drop scoreboard entries whose writes completed at or before ``cycle``."""
+        if not self.scoreboard:
+            return
+        done = [reg for reg, ready in self.scoreboard.items() if ready <= cycle]
+        for reg in done:
+            del self.scoreboard[reg]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "halted" if self.halted else ("barrier" if self.at_barrier else "running")
+        return (f"Warp(id={self.warp_id}, pc={self.pc}, mask=0b{self.active_mask:b}, "
+                f"{state})")

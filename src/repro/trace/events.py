@@ -1,0 +1,61 @@
+"""Trace event records.
+
+One :class:`TraceEvent` is produced per instruction issue: the cycle, the
+core and warp that issued, the program counter, the opcode, the active thread
+mask and the semantic section tag -- the same fields the paper's Figure 1
+plots (PC, active thread mask, warp issue timestamps, tagged wavefronts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isa.opcodes import Opcode
+from repro.sim.warp import popcount
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single instruction-issue record."""
+
+    cycle: int
+    core: int
+    warp: int
+    pc: int
+    opcode: Opcode
+    mask: int
+    section: str
+    call_index: int = 0
+
+    @property
+    def active_lanes(self) -> int:
+        """Number of lanes that executed this instruction."""
+        return popcount(self.mask)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialise to plain types (for JSON/CSV export)."""
+        return {
+            "cycle": self.cycle,
+            "core": self.core,
+            "warp": self.warp,
+            "pc": self.pc,
+            "opcode": self.opcode.value,
+            "mask": self.mask,
+            "section": self.section,
+            "call_index": self.call_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            cycle=int(data["cycle"]),
+            core=int(data["core"]),
+            warp=int(data["warp"]),
+            pc=int(data["pc"]),
+            opcode=Opcode(data["opcode"]),
+            mask=int(data["mask"]),
+            section=str(data["section"]),
+            call_index=int(data.get("call_index", 0)),
+        )

@@ -1,0 +1,53 @@
+"""Trace serialisation (JSON and CSV).
+
+Traces can be dumped for offline inspection or archived next to experiment
+results; the JSON form round-trips exactly, the CSV form is meant for
+spreadsheet / pandas consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.trace.events import TraceEvent
+
+PathLike = Union[str, Path]
+
+
+def events_to_json(events: Sequence[TraceEvent], path: Optional[PathLike] = None) -> str:
+    """Serialise events to a JSON string; optionally write it to ``path``."""
+    payload = json.dumps([event.as_dict() for event in events], indent=None)
+    if path is not None:
+        Path(path).write_text(payload)
+    return payload
+
+
+def events_from_json(source: Union[str, PathLike]) -> List[TraceEvent]:
+    """Load events from a JSON string or a file path produced by :func:`events_to_json`."""
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif isinstance(source, str) and source.lstrip().startswith("["):
+        text = source                      # inline JSON payload
+    else:
+        text = Path(source).read_text()
+    return [TraceEvent.from_dict(item) for item in json.loads(text)]
+
+
+def events_to_csv(events: Sequence[TraceEvent], path: Optional[PathLike] = None) -> str:
+    """Serialise events to CSV (header + one row per event)."""
+    output = io.StringIO()
+    writer = csv.writer(output)
+    writer.writerow(["cycle", "core", "warp", "pc", "opcode", "mask", "section", "call_index"])
+    for event in events:
+        record = event.as_dict()
+        writer.writerow([record["cycle"], record["core"], record["warp"], record["pc"],
+                         record["opcode"], record["mask"], record["section"],
+                         record["call_index"]])
+    text = output.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

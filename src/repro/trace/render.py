@@ -1,0 +1,119 @@
+"""ASCII rendering of traces.
+
+Reproduces the structure of the paper's Figure 1 in a terminal: one row per
+(core, warp), time on the horizontal axis, and one character per time bucket
+showing which semantic section the warp was issuing from (``.`` for idle).
+A section waveform view shows, per section, the cycles during which its
+instructions were in flight.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.analysis import TraceAnalysis, analyze_trace, section_wavefronts
+from repro.trace.events import TraceEvent
+
+#: Preferred one-character codes for the wrapper's standard sections.
+SECTION_CODES = {
+    "init": "I",
+    "index": "x",
+    "load": "L",
+    "compute": "c",
+    "mac": "m",
+    "body": "b",
+    "loop": "o",
+    "store": "S",
+    "exit": "E",
+}
+IDLE_CHAR = "."
+
+
+def _section_code(section: str, assigned: Dict[str, str]) -> str:
+    if section in assigned:
+        return assigned[section]
+    code = SECTION_CODES.get(section)
+    if code is None or code in assigned.values():
+        for candidate in section[:1].upper() + "ABCDEFGHJKMNPQRTUVWYZ0123456789":
+            if candidate not in assigned.values():
+                code = candidate
+                break
+        else:  # pragma: no cover - more sections than printable codes
+            code = "?"
+    assigned[section] = code
+    return code
+
+
+def render_issue_timeline(events: Sequence[TraceEvent], width: int = 100,
+                          title: Optional[str] = None) -> str:
+    """Render one row per (core, warp): which section issued in each time bucket.
+
+    ``width`` is the number of character columns the trace is compressed into.
+    """
+    if not events:
+        return "(empty trace)"
+    first = min(e.cycle for e in events)
+    last = max(e.cycle for e in events)
+    span = max(1, last - first + 1)
+    bucket = max(1, -(-span // width))
+    columns = -(-span // bucket)
+
+    assigned: Dict[str, str] = {}
+    rows: Dict[Tuple[int, int], List[str]] = defaultdict(lambda: [IDLE_CHAR] * columns)
+    for event in events:
+        column = (event.cycle - first) // bucket
+        rows[(event.core, event.warp)][column] = _section_code(event.section, assigned)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"cycles {first}..{last}  ({bucket} cycle(s) per column)")
+    legend = "  ".join(f"{code}={section}" for section, code in sorted(assigned.items()))
+    lines.append(f"legend: {legend}  {IDLE_CHAR}=idle")
+    for (core, warp) in sorted(rows):
+        lines.append(f"core {core} warp {warp} | {''.join(rows[(core, warp)])}")
+    return "\n".join(lines)
+
+
+def render_section_waveform(events: Sequence[TraceEvent], width: int = 100) -> str:
+    """Render one row per section showing when its instructions were issuing."""
+    if not events:
+        return "(empty trace)"
+    waves = section_wavefronts(events)
+    first = min(e.cycle for e in events)
+    last = max(e.cycle for e in events)
+    span = max(1, last - first + 1)
+    bucket = max(1, -(-span // width))
+    columns = -(-span // bucket)
+
+    active: Dict[str, List[bool]] = {s: [False] * columns for s in waves}
+    for event in events:
+        active[event.section][(event.cycle - first) // bucket] = True
+
+    lines = [f"section wavefronts, cycles {first}..{last}"]
+    name_width = max(len(s) for s in waves)
+    ordered = sorted(waves.values(), key=lambda w: w.first_cycle)
+    for wave in ordered:
+        bar = "".join("#" if flag else IDLE_CHAR for flag in active[wave.section])
+        lines.append(f"{wave.section:<{name_width}} | {bar} ({wave.issues} issues)")
+    return "\n".join(lines)
+
+
+def render_summary(events: Sequence[TraceEvent], counters=None,
+                   threads_per_warp: Optional[int] = None) -> str:
+    """Short textual summary (issue utilisation, SIMT efficiency, boundedness)."""
+    analysis: TraceAnalysis = analyze_trace(events, counters, threads_per_warp)
+    if analysis.total_events == 0:
+        return "(empty trace)"
+    lines = [
+        f"events            : {analysis.total_events}",
+        f"cycle span        : {analysis.first_cycle}..{analysis.last_cycle} "
+        f"({analysis.span} cycles)",
+        f"cores / warps     : {analysis.cores_seen} / {analysis.warps_seen}",
+        f"issue utilisation : {analysis.issue_utilization:.1%}",
+        f"SIMT efficiency   : {analysis.simt_efficiency:.1%}",
+        f"boundedness       : {analysis.boundedness}",
+        f"kernel calls      : {len(analysis.call_boundaries)}",
+    ]
+    return "\n".join(lines)

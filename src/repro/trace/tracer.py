@@ -1,0 +1,90 @@
+"""Trace collection.
+
+A :class:`Tracer` is attached to a :class:`~repro.runtime.device.Device` (or
+directly to a :class:`~repro.sim.gpu.Gpu`); the core model calls
+:meth:`Tracer.record` on every instruction issue.  Tracing a long launch can
+produce millions of events, so the tracer supports an event cap and per-core /
+per-section filters; when the cap is hit, collection simply stops (the counters
+keep counting, only the detailed log is truncated).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.isa.opcodes import Opcode
+from repro.trace.events import TraceEvent
+
+
+class Tracer:
+    """Collects instruction-issue events during simulation."""
+
+    def __init__(self, max_events: Optional[int] = None,
+                 cores: Optional[Iterable[int]] = None,
+                 sections: Optional[Iterable[str]] = None):
+        self.max_events = max_events
+        self._core_filter: Optional[Set[int]] = set(cores) if cores is not None else None
+        self._section_filter: Optional[Set[str]] = set(sections) if sections is not None else None
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+        self.call_index = 0
+        #: Added to every recorded cycle; the launcher advances it between the
+        #: sequential kernel calls of a launch so a multi-call trace lives on a
+        #: single global timeline (the way Figure 1 shows the lws=1 case).
+        self.cycle_offset = 0
+
+    # ------------------------------------------------------------------
+    def record(self, cycle: int, core: int, warp: int, pc: int, opcode: Opcode,
+               mask: int, section: str) -> None:
+        """Record one instruction issue (called by the core model)."""
+        if self._core_filter is not None and core not in self._core_filter:
+            return
+        if self._section_filter is not None and section not in self._section_filter:
+            return
+        if self.max_events is not None and len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(
+            cycle=cycle + self.cycle_offset, core=core, warp=warp, pc=pc, opcode=opcode,
+            mask=mask, section=section, call_index=self.call_index,
+        ))
+
+    def begin_call(self, call_index: int, cycle_offset: int) -> None:
+        """Mark the start of kernel call ``call_index`` at global time ``cycle_offset``."""
+        self.call_index = call_index
+        self.cycle_offset = cycle_offset
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Sequence[TraceEvent]:
+        """The collected events in issue order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        """Drop all collected events and reset the call index."""
+        self._events.clear()
+        self.dropped = 0
+        self.call_index = 0
+        self.cycle_offset = 0
+
+    def events_for(self, core: Optional[int] = None, warp: Optional[int] = None,
+                   section: Optional[str] = None) -> List[TraceEvent]:
+        """Filtered view of the collected events."""
+        result = []
+        for event in self._events:
+            if core is not None and event.core != core:
+                continue
+            if warp is not None and event.warp != warp:
+                continue
+            if section is not None and event.section != section:
+                continue
+            result.append(event)
+        return result
+
+    @property
+    def truncated(self) -> bool:
+        """True when the event cap was reached and events were dropped."""
+        return self.dropped > 0

@@ -1,0 +1,38 @@
+"""Synthetic images and feature maps.
+
+Stand-ins for the paper's image inputs: a single-channel image for the
+Gaussian filter (360 x 360 in the paper) and a CHW feature map for the
+ResNet20 convolution layer (16 x 32 x 32 on CIFAR-10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_image(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """A reproducible single-channel image with values in ``[0, 1)``."""
+    if height < 1 or width < 1:
+        raise ValueError(f"image dimensions must be positive, got {height}x{width}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(height, width)).astype(np.float64)
+
+
+def random_feature_map(channels: int, height: int, width: int, seed: int = 0) -> np.ndarray:
+    """A reproducible CHW feature map with values in ``[-1, 1)``."""
+    if channels < 1 or height < 1 or width < 1:
+        raise ValueError(
+            f"feature-map dimensions must be positive, got {channels}x{height}x{width}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(channels, height, width)).astype(np.float64)
+
+
+def random_conv_weights(out_channels: int, in_channels: int, kernel: int = 3,
+                        seed: int = 0) -> np.ndarray:
+    """Reproducible convolution weights with layout ``[oc, ic, ky, kx]``."""
+    if out_channels < 1 or in_channels < 1 or kernel < 1:
+        raise ValueError("convolution weight dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(in_channels * kernel * kernel)
+    return rng.uniform(-scale, scale,
+                       size=(out_channels, in_channels, kernel, kernel)).astype(np.float64)

@@ -1,0 +1,22 @@
+"""Synthetic point clouds for the kNN workload.
+
+The paper's kNN workload processes 42 764 latitude/longitude records (the
+Rodinia ``nn`` input).  :func:`random_points` produces the same structure from
+a seed: two coordinate arrays in plausible lat/long ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def random_points(count: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(latitudes, longitudes)`` for ``count`` synthetic records."""
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = np.random.default_rng(seed)
+    latitudes = rng.uniform(-90.0, 90.0, size=count).astype(np.float64)
+    longitudes = rng.uniform(-180.0, 180.0, size=count).astype(np.float64)
+    return latitudes, longitudes

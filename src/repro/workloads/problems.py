@@ -1,0 +1,351 @@
+"""Problem descriptors: the nine Figure-2 workloads, ready to launch.
+
+A :class:`Problem` binds a kernel to concrete input data, the flattened global
+work size and a numpy reference implementation for its writable buffers.  The
+experiment harness iterates over problems, the tests use the references to
+check functional correctness, and the examples use them as ready-made demos.
+
+Each problem exists at three scales:
+
+* ``paper`` -- the sizes reported in the paper (e.g. 42 764 kNN points,
+  360 x 360 Gaussian filter, Cora-sized GCN).  Faithful but slow on a pure
+  Python cycle-level simulator.
+* ``bench`` -- reduced sizes used by the benchmark harness; the regime
+  boundaries (kernel calls vs utilisation) scale proportionally so the
+  Figure-2 ratio shapes are preserved.
+* ``smoke`` -- tiny sizes for unit tests and quick sanity checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.library import (
+    CONV2D,
+    GAUSSIAN,
+    GCN_AGGREGATE,
+    GCN_LAYER,
+    KNN,
+    RELU,
+    SAXPY,
+    SGEMM,
+    VECADD,
+)
+from repro.kernels.library.gaussian import GAUSSIAN_WEIGHTS
+from repro.kernels.kernel import Kernel
+from repro.workloads.graphs import CsrGraph, cora_like_graph, synthetic_graph
+from repro.workloads.images import random_conv_weights, random_feature_map, random_image
+from repro.workloads.points import random_points
+from repro.workloads.tensors import random_matrix, random_vector
+
+#: Allowed scale names.
+Scale = str
+SCALES = ("paper", "bench", "smoke")
+
+#: Problem names in the order the paper's Figure 2 lists them.
+PAPER_PROBLEM_NAMES = (
+    "knn", "vecadd", "relu", "saxpy", "sgemm",
+    "gaussian", "gcn_aggregate", "conv2d", "gcn_layer",
+)
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A kernel plus everything needed to launch and verify it."""
+
+    name: str
+    kernel: Kernel
+    arguments: Mapping[str, object]
+    global_size: int
+    category: str                       # "math" or "ml" (the paper's grouping)
+    scale: Scale
+    description: str = ""
+    reference: Optional[Callable[[], Dict[str, np.ndarray]]] = None
+    parameters: Mapping[str, object] = field(default_factory=dict)
+
+    def reference_outputs(self) -> Dict[str, np.ndarray]:
+        """Numpy reference results for the kernel's writable buffers."""
+        if self.reference is None:
+            return {}
+        return self.reference()
+
+    def summary(self) -> str:
+        """One-line description used in reports."""
+        return (f"{self.name} [{self.category}, scale={self.scale}]: "
+                f"gws={self.global_size} -- {self.description}")
+
+
+class UnknownProblemError(KeyError):
+    """Raised for unknown problem names or scales."""
+
+
+def _require_scale(scale: Scale) -> None:
+    if scale not in SCALES:
+        raise UnknownProblemError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+# ----------------------------------------------------------------------
+# element-wise math kernels
+# ----------------------------------------------------------------------
+_ELEMENTWISE_SIZES = {"paper": 4096, "bench": 512, "smoke": 64}
+
+
+def _vecadd(scale: Scale, seed: int) -> Problem:
+    n = _ELEMENTWISE_SIZES[scale]
+    a = random_vector(n, seed=seed)
+    b = random_vector(n, seed=seed + 1)
+    return Problem(
+        name="vecadd", kernel=VECADD,
+        arguments={"a": a, "b": b, "c": np.zeros(n)},
+        global_size=n, category="math", scale=scale,
+        description=f"vector addition, length {n}",
+        reference=lambda: {"c": a + b},
+        parameters={"length": n},
+    )
+
+
+def _relu(scale: Scale, seed: int) -> Problem:
+    n = _ELEMENTWISE_SIZES[scale]
+    x = random_vector(n, seed=seed)
+    return Problem(
+        name="relu", kernel=RELU,
+        arguments={"x": x, "y": np.zeros(n)},
+        global_size=n, category="math", scale=scale,
+        description=f"ReLU, length {n}",
+        reference=lambda: {"y": np.maximum(x, 0.0)},
+        parameters={"length": n},
+    )
+
+
+def _saxpy(scale: Scale, seed: int) -> Problem:
+    n = _ELEMENTWISE_SIZES[scale]
+    a = 2.5
+    x = random_vector(n, seed=seed)
+    y = random_vector(n, seed=seed + 1)
+    return Problem(
+        name="saxpy", kernel=SAXPY,
+        arguments={"x": x, "y": y, "a": a},
+        global_size=n, category="math", scale=scale,
+        description=f"saxpy, length {n}",
+        reference=lambda: {"y": a * x + y},
+        parameters={"length": n, "a": a},
+    )
+
+
+# ----------------------------------------------------------------------
+# sgemm
+# ----------------------------------------------------------------------
+_SGEMM_SIZES = {"paper": (256, 16, 144), "bench": (32, 8, 16), "smoke": (8, 4, 8)}
+
+
+def _sgemm(scale: Scale, seed: int) -> Problem:
+    m, n, k = _SGEMM_SIZES[scale]
+    a = random_matrix(m, k, seed=seed)
+    b = random_matrix(k, n, seed=seed + 1)
+    return Problem(
+        name="sgemm", kernel=SGEMM,
+        arguments={"a": a, "b": b, "c": np.zeros((m, n)), "m": m, "n": n, "k": k},
+        global_size=m * n, category="math", scale=scale,
+        description=f"sgemm {m}x{k} @ {k}x{n}",
+        reference=lambda: {"c": (a @ b).ravel()},
+        parameters={"m": m, "n": n, "k": k},
+    )
+
+
+# ----------------------------------------------------------------------
+# kNN
+# ----------------------------------------------------------------------
+_KNN_SIZES = {"paper": 42764, "bench": 2048, "smoke": 128}
+
+
+def _knn(scale: Scale, seed: int) -> Problem:
+    count = _KNN_SIZES[scale]
+    lat, lng = random_points(count, seed=seed)
+    lat_q, lng_q = 30.0, -120.0
+    return Problem(
+        name="knn", kernel=KNN,
+        arguments={"lat": lat, "lng": lng, "dist": np.zeros(count),
+                   "lat_q": lat_q, "lng_q": lng_q},
+        global_size=count, category="math", scale=scale,
+        description=f"nearest-neighbour distances, {count} points",
+        reference=lambda: {"dist": np.sqrt((lat - lat_q) ** 2 + (lng - lng_q) ** 2)},
+        parameters={"points": count},
+    )
+
+
+# ----------------------------------------------------------------------
+# Gaussian blur
+# ----------------------------------------------------------------------
+_GAUSSIAN_SIZES = {"paper": (360, 360), "bench": (48, 48), "smoke": (12, 12)}
+
+
+def _gaussian_reference(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    height, width = image.shape
+    out = np.zeros_like(image)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            weight = weights[(dy + 1) * 3 + (dx + 1)]
+            ys = np.clip(np.arange(height) + dy, 0, height - 1)
+            xs = np.clip(np.arange(width) + dx, 0, width - 1)
+            out += weight * image[np.ix_(ys, xs)]
+    return out
+
+
+def _gaussian(scale: Scale, seed: int) -> Problem:
+    height, width = _GAUSSIAN_SIZES[scale]
+    image = random_image(height, width, seed=seed)
+    weights = np.asarray(GAUSSIAN_WEIGHTS, dtype=np.float64)
+    return Problem(
+        name="gaussian", kernel=GAUSSIAN,
+        arguments={"img": image, "weights": weights, "out": np.zeros((height, width)),
+                   "width": width, "height": height},
+        global_size=height * width, category="math", scale=scale,
+        description=f"3x3 Gaussian blur, {height}x{width} image",
+        reference=lambda: {"out": _gaussian_reference(image, weights).ravel()},
+        parameters={"height": height, "width": width},
+    )
+
+
+# ----------------------------------------------------------------------
+# GCN aggregation / layer
+# ----------------------------------------------------------------------
+_GCN_SIZES = {
+    # (graph builder, hidden, hidden_out)
+    "paper": (lambda seed: cora_like_graph(seed=seed), 16, 16),
+    "bench": (lambda seed: synthetic_graph(256, 1024, seed=seed), 8, 8),
+    "smoke": (lambda seed: synthetic_graph(32, 128, seed=seed), 4, 4),
+}
+
+
+def _gcn_mean_aggregate(graph: CsrGraph, features: np.ndarray) -> np.ndarray:
+    out = np.zeros_like(features)
+    for node in range(graph.num_nodes):
+        neighbours = graph.neighbours(node)
+        total = features[node].copy()
+        for neighbour in neighbours:
+            total += features[int(neighbour)]
+        out[node] = total / (len(neighbours) + 1)
+    return out
+
+
+def _gcn_aggregate(scale: Scale, seed: int) -> Problem:
+    build_graph, hidden, _ = _GCN_SIZES[scale]
+    graph = build_graph(seed)
+    features = random_matrix(graph.num_nodes, hidden, seed=seed + 1)
+    return Problem(
+        name="gcn_aggregate", kernel=GCN_AGGREGATE,
+        arguments={"row_ptr": graph.row_ptr.astype(np.float64),
+                   "col_idx": graph.col_idx.astype(np.float64),
+                   "x": features,
+                   "out": np.zeros_like(features),
+                   "hidden": hidden},
+        global_size=graph.num_nodes * hidden, category="ml", scale=scale,
+        description=(f"GCN mean aggregation, {graph.num_nodes} nodes, "
+                     f"{graph.num_edges} edges, hidden {hidden}"),
+        reference=lambda: {"out": _gcn_mean_aggregate(graph, features).ravel()},
+        parameters={"nodes": graph.num_nodes, "edges": graph.num_edges, "hidden": hidden},
+    )
+
+
+def _gcn_layer(scale: Scale, seed: int) -> Problem:
+    build_graph, hidden, hidden_out = _GCN_SIZES[scale]
+    graph = build_graph(seed)
+    features = random_matrix(graph.num_nodes, hidden, seed=seed + 1)
+    weights = random_matrix(hidden, hidden_out, seed=seed + 2)
+
+    def reference() -> Dict[str, np.ndarray]:
+        aggregated = _gcn_mean_aggregate(graph, features)
+        return {"out": np.maximum(aggregated @ weights, 0.0).ravel()}
+
+    return Problem(
+        name="gcn_layer", kernel=GCN_LAYER,
+        arguments={"row_ptr": graph.row_ptr.astype(np.float64),
+                   "col_idx": graph.col_idx.astype(np.float64),
+                   "x": features,
+                   "w": weights,
+                   "out": np.zeros((graph.num_nodes, hidden_out)),
+                   "hidden": hidden, "hidden_out": hidden_out},
+        global_size=graph.num_nodes * hidden_out, category="ml", scale=scale,
+        description=(f"GCN layer, {graph.num_nodes} nodes, hidden {hidden} -> {hidden_out}"),
+        reference=reference,
+        parameters={"nodes": graph.num_nodes, "edges": graph.num_edges,
+                    "hidden": hidden, "hidden_out": hidden_out},
+    )
+
+
+# ----------------------------------------------------------------------
+# conv2d (ResNet20 layer)
+# ----------------------------------------------------------------------
+_CONV_SIZES = {
+    # (height, width, in_channels, out_channels)
+    "paper": (32, 32, 16, 16),
+    "bench": (10, 10, 4, 4),
+    "smoke": (4, 4, 2, 2),
+}
+
+
+def _conv2d_reference(feature_map: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    in_channels, height, width = feature_map.shape
+    out_channels = weights.shape[0]
+    padded = np.zeros((in_channels, height + 2, width + 2))
+    padded[:, 1:height + 1, 1:width + 1] = feature_map
+    out = np.zeros((out_channels, height, width))
+    for oc in range(out_channels):
+        for ic in range(in_channels):
+            for ky in range(3):
+                for kx in range(3):
+                    out[oc] += weights[oc, ic, ky, kx] * padded[ic, ky:ky + height, kx:kx + width]
+    return np.maximum(out, 0.0)
+
+
+def _conv2d(scale: Scale, seed: int) -> Problem:
+    height, width, in_channels, out_channels = _CONV_SIZES[scale]
+    feature_map = random_feature_map(in_channels, height, width, seed=seed)
+    weights = random_conv_weights(out_channels, in_channels, 3, seed=seed + 1)
+    return Problem(
+        name="conv2d", kernel=CONV2D,
+        arguments={"input": feature_map, "weights": weights,
+                   "output": np.zeros((out_channels, height, width)),
+                   "width": width, "height": height, "in_channels": in_channels},
+        global_size=out_channels * height * width, category="ml", scale=scale,
+        description=(f"3x3 conv + ReLU, {in_channels}->{out_channels} channels, "
+                     f"{height}x{width} map (ResNet20 layer)"),
+        reference=lambda: {"output": _conv2d_reference(feature_map, weights).ravel()},
+        parameters={"height": height, "width": width,
+                    "in_channels": in_channels, "out_channels": out_channels},
+    )
+
+
+# ----------------------------------------------------------------------
+_FACTORIES: Dict[str, Callable[[Scale, int], Problem]] = {
+    "vecadd": _vecadd,
+    "relu": _relu,
+    "saxpy": _saxpy,
+    "sgemm": _sgemm,
+    "knn": _knn,
+    "gaussian": _gaussian,
+    "gcn_aggregate": _gcn_aggregate,
+    "gcn_layer": _gcn_layer,
+    "conv2d": _conv2d,
+}
+
+
+def available_problems() -> List[str]:
+    """Names of every problem factory."""
+    return sorted(_FACTORIES)
+
+
+def make_problem(name: str, scale: Scale = "bench", seed: int = 0) -> Problem:
+    """Instantiate problem ``name`` at ``scale`` with deterministic data."""
+    _require_scale(scale)
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise UnknownProblemError(
+            f"unknown problem {name!r}; available: {', '.join(available_problems())}"
+        ) from None
+    return factory(scale, seed)

@@ -1,0 +1,27 @@
+"""Deterministic random tensors.
+
+All generators take an explicit seed so experiments are reproducible run to
+run; values are kept in a small range to avoid float32-vs-float64 drift when
+kernel outputs are compared against numpy references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_vector(length: int, seed: int = 0, low: float = -1.0, high: float = 1.0) -> np.ndarray:
+    """A reproducible random vector of ``length`` floats in ``[low, high)``."""
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=length).astype(np.float64)
+
+
+def random_matrix(rows: int, cols: int, seed: int = 0,
+                  low: float = -1.0, high: float = 1.0) -> np.ndarray:
+    """A reproducible random ``rows x cols`` matrix."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"matrix dimensions must be positive, got {rows}x{cols}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=(rows, cols)).astype(np.float64)

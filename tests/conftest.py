@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Simulation-backed tests always use ``smoke``-scale problems and small machine
+configurations so the whole suite stays fast; the benchmark harness (not the
+tests) exercises the larger scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import ArchConfig
+from repro.runtime.device import Device
+from repro.workloads.problems import make_problem
+
+
+@pytest.fixture
+def tiny_config() -> ArchConfig:
+    """The paper's Figure-1 machine: 1 core, 2 warps, 4 threads."""
+    return ArchConfig(cores=1, warps_per_core=2, threads_per_warp=4)
+
+
+@pytest.fixture
+def small_config() -> ArchConfig:
+    """A slightly larger machine exercising multiple cores."""
+    return ArchConfig(cores=2, warps_per_core=4, threads_per_warp=4)
+
+
+@pytest.fixture
+def tiny_device(tiny_config) -> Device:
+    """Device wrapping :func:`tiny_config`."""
+    return Device(tiny_config)
+
+
+@pytest.fixture
+def small_device(small_config) -> Device:
+    """Device wrapping :func:`small_config`."""
+    return Device(small_config)
+
+
+@pytest.fixture
+def vecadd_problem():
+    """The vecadd workload at smoke scale (64 elements)."""
+    return make_problem("vecadd", scale="smoke")
+
+
+@pytest.fixture
+def sgemm_problem():
+    """The sgemm workload at smoke scale."""
+    return make_problem("sgemm", scale="smoke")

@@ -1,0 +1,93 @@
+"""Small execution harness shared by DSL and core tests.
+
+Runs a linked program on one warp of a single simulated core and exposes the
+final per-lane register file, the device memory and the cycle count, so tests
+can assert on the functional results of hand-built programs without going
+through the full runtime layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.program import Program
+from repro.isa.registers import CsrFile
+from repro.sim.config import ArchConfig
+from repro.sim.core import SimtCore, SimulationError
+from repro.sim.memory.hierarchy import MemoryHierarchy
+from repro.sim.memory.mainmem import MainMemory
+from repro.sim.stats import PerfCounters
+from repro.sim.warp import Warp
+
+
+def make_csr(lanes: int, config: ArchConfig, args: Optional[Dict[int, float]] = None,
+             workgroup_ids: Optional[Sequence[float]] = None,
+             local_counts: Optional[Sequence[float]] = None,
+             local_size: int = 1, global_size: int = 1) -> CsrFile:
+    """A CSR file for one warp with sensible defaults."""
+    return CsrFile(
+        num_threads=config.threads_per_warp,
+        num_warps=config.warps_per_core,
+        num_cores=config.cores,
+        warp_id=0,
+        core_id=0,
+        workgroup_ids=list(workgroup_ids or [float(i) for i in range(lanes)]),
+        local_counts=list(local_counts or [1.0] * lanes),
+        local_size=local_size,
+        global_size=global_size,
+        num_groups=max(1, global_size // max(1, local_size)),
+        call_index=0,
+        args=dict(args or {}),
+    )
+
+
+class ProgramRun:
+    """Result of executing a program on the harness."""
+
+    def __init__(self, memory: MainMemory, cycles: int, warp: Warp, counters: PerfCounters):
+        self.memory = memory
+        self.cycles = cycles
+        self.warp = warp
+        self.regs = warp.regs          # regs[lane][register]
+        self.counters = counters
+
+    def reg(self, register: int, lane: int = 0) -> float:
+        """Value of ``register`` in ``lane`` after the run."""
+        return self.regs[lane][register]
+
+    def lane_values(self, register: int) -> List[float]:
+        """Value of ``register`` across all lanes."""
+        return [lane_regs[register] for lane_regs in self.regs]
+
+    def mem(self, address: int) -> float:
+        """Word at ``address`` in device memory after the run."""
+        return self.memory.read(address)
+
+
+def run_program(program: Program, lanes: int = 4, config: Optional[ArchConfig] = None,
+                memory: Optional[Dict[int, float]] = None,
+                args: Optional[Dict[int, float]] = None,
+                csr: Optional[CsrFile] = None,
+                tracer=None,
+                max_cycles: int = 200_000) -> ProgramRun:
+    """Execute ``program`` on one warp with ``lanes`` active lanes and return the state."""
+    config = config or ArchConfig(cores=1, warps_per_core=2, threads_per_warp=max(lanes, 2))
+    mainmem = MainMemory(1 << 16)
+    if memory:
+        for address, value in memory.items():
+            mainmem.write(address, value)
+    hierarchy = MemoryHierarchy(config)
+    counters = PerfCounters()
+    core = SimtCore(0, config, program, hierarchy, mainmem, counters, tracer=tracer)
+    warp = Warp(0, config.threads_per_warp, program.num_registers,
+                csr or make_csr(lanes, config, args=args), active_lanes=lanes)
+    core.add_warp(warp)
+
+    cycle = 0
+    while core.busy:
+        if cycle > max_cycles:
+            raise SimulationError(f"harness exceeded {max_cycles} cycles")
+        core.try_issue(cycle)
+        cycle += 1
+    counters.cycles = cycle
+    return ProgramRun(mainmem, cycle, warp, counters)

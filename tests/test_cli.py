@@ -1,0 +1,80 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_lists_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("info", "run", "figure1", "sweep", "report"):
+        assert command in text
+
+
+def test_missing_subcommand_exits_with_error():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_info_command_reports_machine_and_eq1(capsys):
+    assert main(["info", "--config", "4c8w8t", "--gws", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "4c8w8t" in out
+    assert "hp = 256" in out
+    assert "lws = ceil(4096 / 256) = 16" in out
+
+
+def test_info_without_gws_only_describes_the_machine(capsys):
+    assert main(["info", "--config", "1c2w4t"]) == 0
+    out = capsys.readouterr().out
+    assert "1c2w4t" in out
+    assert "Eq. 1" not in out
+
+
+def test_run_command_executes_a_problem(capsys):
+    assert main(["run", "vecadd", "--config", "2c2w4t", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "vecadd" in out
+    assert "lane utilisation" in out
+    assert "cycles" in out
+
+
+def test_run_command_with_explicit_lws_trace_and_advice(capsys):
+    assert main(["run", "relu", "--config", "1c2w4t", "--scale", "smoke",
+                 "--lws", "1", "--trace", "--advise"]) == 0
+    out = capsys.readouterr().out
+    assert "lws=1" in out
+    assert "core 0 warp 0" in out                 # trace timeline
+    assert "Tuning report" in out                 # advisor output
+    assert "recommended lws" in out
+
+
+def test_run_command_rejects_unknown_problem():
+    with pytest.raises(SystemExit):
+        main(["run", "not_a_kernel"])
+
+
+def test_figure1_command(capsys):
+    assert main(["figure1", "--length", "64", "--lws", "1", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1 reproduction" in out
+    assert "lws=" in out
+
+
+def test_sweep_and_report_round_trip(tmp_path, capsys):
+    output = tmp_path / "sweep.json"
+    assert main(["sweep", "--kernels", "vecadd", "--sweep", "smoke", "--scale", "smoke",
+                 "-o", str(output)]) == 0
+    first = capsys.readouterr().out
+    assert "lws=1/ours avg" in first
+    assert output.exists()
+    rows = json.loads(output.read_text())
+    assert rows and rows[0]["problem"] == "vecadd"
+
+    assert main(["report", str(output), "--claims"]) == 0
+    second = capsys.readouterr().out
+    assert "lws=1/ours avg" in second
+    assert "C4" in second

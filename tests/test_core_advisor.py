@@ -1,0 +1,86 @@
+"""Tests for the tuning advisor (repro.core.advisor)."""
+
+import pytest
+
+from repro.core.advisor import TuningAdvisor
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.sim.stats import PerfCounters
+from repro.workloads.problems import make_problem
+
+CONFIG = ArchConfig(cores=2, warps_per_core=2, threads_per_warp=4)   # hp = 16
+
+
+def test_recommendation_matches_eq1_without_measurements():
+    advisor = TuningAdvisor(CONFIG)
+    report = advisor.advise(global_size=128)
+    assert report.recommended_local_size == 8
+    assert report.current_local_size is None
+    assert not report.mapping_change_needed
+    assert report.findings
+    assert "lws" in report.render()
+
+
+def test_report_flags_a_mapping_change_for_naive_lws():
+    advisor = TuningAdvisor(CONFIG)
+    report = advisor.advise(global_size=128, current_local_size=1)
+    assert report.mapping_change_needed
+    assert any("extra kernel call" in finding for finding in report.findings)
+
+
+def test_report_flags_idle_lanes_for_oversized_lws():
+    advisor = TuningAdvisor(CONFIG)
+    report = advisor.advise(global_size=128, current_local_size=64)
+    assert report.mapping_change_needed
+    assert any("idle" in finding for finding in report.findings)
+
+
+def test_report_accepts_matching_mapping():
+    advisor = TuningAdvisor(CONFIG)
+    report = advisor.advise(global_size=128, current_local_size=8)
+    assert not report.mapping_change_needed
+    assert any("matches Eq. 1" in finding for finding in report.findings)
+
+
+def test_boundedness_classification_from_counters():
+    advisor = TuningAdvisor(CONFIG)
+    memory_heavy = PerfCounters(cycles=1000, warp_instructions=100, memory_instructions=60)
+    report = advisor.advise(128, current_local_size=8, counters=memory_heavy)
+    assert report.boundedness == "memory-bound"
+
+    compute_heavy = PerfCounters(cycles=1000, warp_instructions=100, memory_instructions=5)
+    report2 = advisor.advise(128, current_local_size=8, counters=compute_heavy)
+    assert report2.boundedness == "compute-bound"
+
+
+def test_bandwidth_saturation_flag():
+    advisor = TuningAdvisor(CONFIG)
+    saturated = PerfCounters(cycles=1000, warp_instructions=100, memory_instructions=60,
+                             dram_queue_cycles=400)
+    report = advisor.advise(128, counters=saturated)
+    assert report.bandwidth_saturated
+    assert any("bandwidth" in f.lower() for f in report.findings)
+
+
+def test_divergence_finding_from_low_simt_efficiency():
+    advisor = TuningAdvisor(CONFIG)
+    divergent = PerfCounters(cycles=100, warp_instructions=100, lane_instructions=120,
+                             memory_instructions=5)
+    report = advisor.advise(128, counters=divergent)
+    assert any("lanes per instruction" in f for f in report.findings)
+
+
+def test_advisor_on_real_measurements_end_to_end():
+    device = Device(CONFIG)
+    problem = make_problem("vecadd", scale="smoke")
+    measured = launch_kernel(device, problem.kernel, problem.arguments, problem.global_size,
+                             local_size=1)
+    advisor = TuningAdvisor(CONFIG)
+    report = advisor.advise(problem.global_size, current_local_size=1,
+                            counters=measured.counters)
+    assert report.recommended_local_size == 4          # 64 / 16
+    assert report.mapping_change_needed
+    assert report.boundedness in ("memory-bound", "compute-bound")
+    rendered = report.render()
+    assert "recommended lws : 4" in rendered

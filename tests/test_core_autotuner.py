@@ -1,0 +1,49 @@
+"""Tests for the exhaustive-search oracle (repro.core.autotuner)."""
+
+import pytest
+
+from repro.core.autotuner import default_candidates, exhaustive_search
+from repro.core.optimizer import optimal_local_size
+from repro.runtime.device import Device
+from repro.sim.config import ArchConfig
+from repro.workloads.problems import make_problem
+
+CONFIG = ArchConfig(cores=2, warps_per_core=2, threads_per_warp=4)   # hp = 16
+
+
+def test_default_candidates_cover_extremes_and_eq1():
+    candidates = default_candidates(128, CONFIG)
+    assert 1 in candidates
+    assert 128 in candidates
+    assert optimal_local_size(128, CONFIG) in candidates
+    assert candidates == sorted(candidates)
+    assert all(1 <= c <= 128 for c in candidates)
+
+
+def test_default_candidates_respect_the_cap():
+    candidates = default_candidates(1 << 20, CONFIG, max_candidates=10)
+    assert len(candidates) <= 12          # cap plus the guaranteed Eq.-1 value
+    assert optimal_local_size(1 << 20, CONFIG) in candidates
+
+
+def test_exhaustive_search_finds_eq1_competitive(vecadd_problem=None):
+    problem = make_problem("vecadd", scale="smoke")
+    device = Device(CONFIG)
+    result = exhaustive_search(device, problem.kernel, problem.arguments,
+                               problem.global_size, candidates=[1, 2, 4, 8, 16, 32, 64])
+    assert result.eq1_local_size == optimal_local_size(problem.global_size, CONFIG)
+    assert result.best_cycles <= result.eq1_cycles
+    # The paper's point: Eq. 1 is within a small factor of the oracle.
+    assert result.eq1_gap <= 1.25
+    assert result.cycles_by_lws[1] >= result.best_cycles
+    ranked = result.ranked()
+    assert ranked[0][1] == result.best_cycles
+    assert ranked[-1][1] == max(result.cycles_by_lws.values())
+
+
+def test_exhaustive_search_always_includes_eq1_value():
+    problem = make_problem("relu", scale="smoke")
+    device = Device(CONFIG)
+    result = exhaustive_search(device, problem.kernel, problem.arguments,
+                               problem.global_size, candidates=[1, 64])
+    assert optimal_local_size(problem.global_size, CONFIG) in result.cycles_by_lws

@@ -1,0 +1,91 @@
+"""Tests for the bandwidth-aware mapping extension (repro.core.extensions)."""
+
+import pytest
+
+from repro.core.extensions import BandwidthAwareMapping, MemoryProfile
+from repro.core.optimizer import optimal_local_size
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.sim.stats import PerfCounters
+from repro.workloads.problems import make_problem
+
+
+def test_memory_profile_validation():
+    MemoryProfile(lines_per_item=0.2, cycles_per_item=20)
+    with pytest.raises(ValueError):
+        MemoryProfile(lines_per_item=-1, cycles_per_item=20)
+    with pytest.raises(ValueError):
+        MemoryProfile(lines_per_item=0.1, cycles_per_item=0)
+
+
+def test_profile_from_counters():
+    counters = PerfCounters(dram_lines=200, lane_instructions=20_000)
+    profile = MemoryProfile.from_counters(counters, global_size=1000)
+    assert profile.lines_per_item == pytest.approx(0.2)
+    assert profile.cycles_per_item == pytest.approx(20.0)
+    with pytest.raises(ValueError):
+        MemoryProfile.from_counters(counters, global_size=0)
+
+
+def test_saturating_lanes_scales_with_bandwidth_and_intensity():
+    config = ArchConfig(cores=4, warps_per_core=8, threads_per_warp=8,
+                        dram_lines_per_cycle=2.0)
+    heavy = MemoryProfile(lines_per_item=1.0, cycles_per_item=10)     # very memory intensive
+    light = MemoryProfile(lines_per_item=0.01, cycles_per_item=10)
+    assert heavy.saturating_lanes(config) < light.saturating_lanes(config)
+    # a compute-only profile never caps the parallelism
+    none = MemoryProfile(lines_per_item=0.0, cycles_per_item=10)
+    assert none.saturating_lanes(config) == config.hardware_parallelism
+
+
+def test_without_profile_the_strategy_is_equation_1():
+    strategy = BandwidthAwareMapping()
+    config = ArchConfig(cores=8, warps_per_core=8, threads_per_warp=8)
+    for gws in (128, 4096, 100_000):
+        assert strategy.select_local_size(gws, config) == optimal_local_size(gws, config)
+    assert "Eq. 1" in strategy.describe()
+
+
+def test_memory_bound_profile_enlarges_lws_on_big_machines():
+    config = ArchConfig(cores=16, warps_per_core=16, threads_per_warp=16,
+                        dram_lines_per_cycle=1.0)                     # hp = 4096
+    profile = MemoryProfile(lines_per_item=0.5, cycles_per_item=20)   # saturates at ~80 lanes
+    strategy = BandwidthAwareMapping(profile)
+    gws = 8192
+    chosen = strategy.select_local_size(gws, config)
+    baseline = optimal_local_size(gws, config)
+    assert chosen > baseline
+    # it still guarantees a single kernel call (never below Eq. 1)
+    assert chosen >= baseline
+    assert "lines/item" in strategy.describe()
+
+
+def test_compute_bound_profile_keeps_equation_1():
+    config = ArchConfig(cores=4, warps_per_core=4, threads_per_warp=4)
+    profile = MemoryProfile(lines_per_item=0.001, cycles_per_item=200)
+    strategy = BandwidthAwareMapping(profile)
+    assert strategy.select_local_size(4096, config) == optimal_local_size(4096, config)
+
+
+def test_invalid_headroom_rejected():
+    with pytest.raises(ValueError):
+        BandwidthAwareMapping(headroom=0)
+
+
+def test_profile_guided_mapping_end_to_end_is_competitive():
+    """Profile a memory-bound kernel, remap with the extension, compare cycles."""
+    problem = make_problem("vecadd", scale="bench")
+    config = ArchConfig(cores=8, warps_per_core=8, threads_per_warp=8,
+                        dram_lines_per_cycle=0.5)      # scarce bandwidth
+    device = Device(config)
+    baseline = launch_kernel(device, problem.kernel, problem.arguments, problem.global_size,
+                             local_size=None)
+    strategy = BandwidthAwareMapping.from_profile_run(baseline.counters, problem.global_size)
+    tuned_lws = strategy.select_local_size(problem.global_size, config)
+    tuned = launch_kernel(device, problem.kernel, problem.arguments, problem.global_size,
+                          local_size=tuned_lws)
+    # The extension must never be substantially worse than Eq. 1 (it spawns
+    # fewer warps for the same bandwidth-limited throughput).
+    assert tuned.cycles <= baseline.cycles * 1.15
+    assert tuned.counters.warps_launched <= baseline.counters.warps_launched

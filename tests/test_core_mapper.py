@@ -1,0 +1,66 @@
+"""Tests for the mapping strategies (repro.core.mapper)."""
+
+import pytest
+
+from repro.core.mapper import (
+    FixedMapping,
+    HardwareAwareMapping,
+    NaiveMapping,
+    PAPER_STRATEGIES,
+    strategy_by_name,
+)
+from repro.sim.config import ArchConfig
+
+SMALL = ArchConfig(cores=1, warps_per_core=2, threads_per_warp=4)      # hp = 8
+LARGE = ArchConfig(cores=64, warps_per_core=32, threads_per_warp=32)   # hp = 65536
+
+
+def test_naive_mapping_always_returns_one():
+    naive = NaiveMapping()
+    assert naive.select_local_size(1, SMALL) == 1
+    assert naive.select_local_size(10_000, LARGE) == 1
+    assert naive.name == "naive-lws1"
+    assert "lws = 1" in naive.describe()
+
+
+def test_fixed_mapping_is_hardware_agnostic_but_clamped_to_gws():
+    fixed = FixedMapping(32)
+    assert fixed.select_local_size(4096, SMALL) == 32
+    assert fixed.select_local_size(4096, LARGE) == 32
+    assert fixed.select_local_size(10, SMALL) == 10     # OpenCL: lws <= gws
+    assert fixed.name == "fixed-lws32"
+
+
+def test_fixed_mapping_validates_its_size():
+    with pytest.raises(ValueError):
+        FixedMapping(0)
+
+
+def test_hardware_aware_mapping_follows_eq1():
+    ours = HardwareAwareMapping()
+    assert ours.select_local_size(128, SMALL) == 16
+    assert ours.select_local_size(4096, LARGE) == 1
+    assert ours.select_local_size(4096, ArchConfig(cores=4, warps_per_core=8,
+                                                   threads_per_warp=8)) == 16
+
+
+def test_paper_strategies_dictionary_has_the_three_mappings():
+    assert set(PAPER_STRATEGIES) == {"lws=1", "lws=32", "ours"}
+    assert isinstance(PAPER_STRATEGIES["lws=1"], NaiveMapping)
+    assert isinstance(PAPER_STRATEGIES["lws=32"], FixedMapping)
+    assert isinstance(PAPER_STRATEGIES["ours"], HardwareAwareMapping)
+
+
+def test_strategy_by_name_accepts_labels_and_names():
+    assert strategy_by_name("ours") is PAPER_STRATEGIES["ours"]
+    assert strategy_by_name("hardware-aware") is PAPER_STRATEGIES["ours"]
+    assert strategy_by_name("lws=1") is PAPER_STRATEGIES["lws=1"]
+    assert strategy_by_name("fixed-lws64").local_size == 64
+    assert strategy_by_name("lws=128").local_size == 128
+    with pytest.raises(KeyError):
+        strategy_by_name("nonsense")
+
+
+def test_strategies_have_informative_reprs():
+    assert "Eq. 1" in HardwareAwareMapping().describe()
+    assert "NaiveMapping" in repr(NaiveMapping())

@@ -1,0 +1,106 @@
+"""Tests for Equation 1 and its helpers (repro.core.optimizer)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import (
+    hardware_parallelism,
+    kernel_calls_for,
+    lane_utilization_for,
+    optimal_local_size,
+    workgroups_for,
+)
+from repro.sim.config import ArchConfig
+
+
+def test_paper_example_figure1():
+    """gws=128 on a 1c2w4t machine (hp=8) -> lws=16, the paper's optimum."""
+    config = ArchConfig(cores=1, warps_per_core=2, threads_per_warp=4)
+    assert hardware_parallelism(config) == 8
+    assert optimal_local_size(128, config) == 16
+
+
+def test_degenerates_to_one_when_machine_exceeds_problem():
+    config = ArchConfig(cores=64, warps_per_core=32, threads_per_warp=32)
+    assert optimal_local_size(4096, config) == 1
+    assert optimal_local_size(1, config) == 1
+
+
+def test_rounds_up_for_non_divisible_sizes():
+    # gws=4096, hp=3000: floor would give lws=1 (4096 calls!), ceil gives 2
+    assert optimal_local_size(4096, 3000) == 2
+    assert workgroups_for(4096, 2) == 2048
+    assert kernel_calls_for(4096, 2, 3000) == 1
+
+
+def test_accepts_hp_as_plain_integer():
+    assert optimal_local_size(100, 10) == 10
+    assert hardware_parallelism(8) == 8
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        optimal_local_size(0, 8)
+    with pytest.raises(ValueError):
+        optimal_local_size(8, 0)
+    with pytest.raises(ValueError):
+        workgroups_for(8, 0)
+
+
+def test_helper_consistency_on_paper_workloads():
+    config = ArchConfig(cores=4, warps_per_core=8, threads_per_warp=8)   # hp=256
+    for gws in (4096, 42764, 360 * 360, 2708 * 16):
+        lws = optimal_local_size(gws, config)
+        assert kernel_calls_for(gws, lws, config) == 1
+        assert lane_utilization_for(gws, lws, config) > 0.5
+
+
+# ----------------------------------------------------------------------
+# property-based: the choice is optimal by construction
+# ----------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(gws=st.integers(min_value=1, max_value=1_000_000),
+       cores=st.integers(min_value=1, max_value=64),
+       warps=st.integers(min_value=1, max_value=32),
+       threads=st.integers(min_value=1, max_value=32))
+def test_eq1_always_fits_in_a_single_call(gws, cores, warps, threads):
+    hp = cores * warps * threads
+    lws = optimal_local_size(gws, hp)
+    assert 1 <= lws <= gws
+    assert kernel_calls_for(gws, lws, hp) == 1
+
+
+@settings(max_examples=300, deadline=None)
+@given(gws=st.integers(min_value=1, max_value=1_000_000),
+       hp=st.integers(min_value=1, max_value=65536))
+def test_eq1_maximises_workgroups_within_a_single_call(gws, hp):
+    """No larger workgroup count fits in one call: Eq. 1 wastes no parallelism."""
+    lws = optimal_local_size(gws, hp)
+    groups = workgroups_for(gws, lws)
+    assert groups <= min(hp, gws)
+    if lws > 1:
+        # using a smaller lws would overflow the machine (need a second call)
+        assert workgroups_for(gws, lws - 1) > hp
+
+
+@settings(max_examples=200, deadline=None)
+@given(gws=st.integers(min_value=1, max_value=100_000),
+       hp=st.integers(min_value=1, max_value=65536))
+def test_eq1_degenerate_case_property(gws, hp):
+    lws = optimal_local_size(gws, hp)
+    if hp >= gws:
+        assert lws == 1
+    else:
+        assert lws >= 2 or hp >= gws
+
+
+@settings(max_examples=200, deadline=None)
+@given(gws=st.integers(min_value=1, max_value=100_000),
+       hp=st.integers(min_value=1, max_value=65536),
+       lws=st.integers(min_value=1, max_value=4096))
+def test_utilization_is_a_fraction_and_calls_positive(gws, hp, lws):
+    utilization = lane_utilization_for(gws, lws, hp)
+    assert 0.0 < utilization <= 1.0
+    assert kernel_calls_for(gws, lws, hp) >= 1

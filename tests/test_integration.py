@@ -1,0 +1,139 @@
+"""End-to-end integration tests.
+
+These exercise the complete stack (kernel DSL -> runtime -> simulator -> core
+contribution) the way the paper uses it, and pin the qualitative results the
+reproduction is supposed to show:
+
+* the hardware-aware mapping never issues more kernel calls than either
+  baseline and never uses fewer lanes;
+* the hardware-aware mapping is at least as fast as both baselines on machines
+  where the regimes differ, and never more than marginally slower anywhere;
+* Eq. 1 degenerates to lws=1 on machines larger than the problem;
+* the advisor + trace pipeline produces consistent observations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mapper import PAPER_STRATEGIES
+from repro.core.optimizer import optimal_local_size
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.trace.analysis import analyze_trace
+from repro.trace.tracer import Tracer
+from repro.workloads.problems import make_problem
+
+CONFIGS = [
+    ArchConfig.from_name("1c2w2t"),
+    ArchConfig.from_name("1c2w4t"),
+    ArchConfig.from_name("2c4w4t"),
+    ArchConfig.from_name("4c4w8t"),
+    ArchConfig.from_name("16c8w8t"),
+]
+
+
+def _run(problem, config, lws):
+    device = Device(config)
+    return launch_kernel(device, problem.kernel, problem.arguments, problem.global_size,
+                         local_size=lws, call_simulation_limit=3)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("problem_name", ["vecadd", "sgemm"])
+def test_hardware_aware_mapping_dominates_structurally(problem_name, config):
+    """Fewer-or-equal kernel calls and greater-or-equal utilisation than both baselines."""
+    problem = make_problem(problem_name, scale="smoke")
+    results = {label: _run(problem, config,
+                           strategy.select_local_size(problem.global_size, config))
+               for label, strategy in PAPER_STRATEGIES.items()}
+    ours = results["ours"]
+    for label in ("lws=1", "lws=32"):
+        other = results[label]
+        assert ours.num_calls <= other.num_calls
+        assert (ours.dispatch.average_lane_utilization
+                >= other.dispatch.average_lane_utilization - 1e-9)
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_hardware_aware_mapping_is_never_substantially_slower(config):
+    problem = make_problem("vecadd", scale="smoke")
+    results = {label: _run(problem, config,
+                           strategy.select_local_size(problem.global_size, config))
+               for label, strategy in PAPER_STRATEGIES.items()}
+    ours = results["ours"].cycles
+    for label in ("lws=1", "lws=32"):
+        ratio = results[label].cycles / ours
+        assert ratio >= 0.85, f"{label} unexpectedly beat ours by >15% on {config.name}"
+
+
+def test_hardware_aware_mapping_wins_clearly_in_the_multiple_call_regime():
+    """On a small machine the naive mapping pays per-call overhead repeatedly."""
+    problem = make_problem("vecadd", scale="smoke")          # gws = 64
+    config = ArchConfig.from_name("1c2w2t")                  # hp = 4 -> 16 calls at lws=1
+    naive = _run(problem, config, 1)
+    ours = _run(problem, config, None)
+    assert naive.num_calls == 16 and ours.num_calls == 1
+    assert naive.cycles / ours.cycles > 1.3
+
+
+def test_hardware_aware_mapping_wins_clearly_in_the_under_utilised_regime():
+    """On a large machine a fixed lws=32 leaves most lanes idle."""
+    problem = make_problem("vecadd", scale="bench")          # gws = 512
+    config = ArchConfig.from_name("16c8w8t")                 # hp = 1024
+    fixed = _run(problem, config, 32)
+    ours = _run(problem, config, None)
+    assert ours.local_size == 1                              # hp > gws -> Eq. 1 degenerates
+    assert fixed.cycles / ours.cycles > 1.5
+
+
+def test_eq1_degenerates_to_lws1_when_machine_exceeds_problem():
+    problem = make_problem("relu", scale="smoke")            # gws = 64
+    config = ArchConfig.from_name("16c8w8t")                 # hp = 1024
+    assert optimal_local_size(problem.global_size, config) == 1
+    result = _run(problem, config, None)
+    assert result.local_size == 1
+    assert result.num_calls == 1
+
+
+def test_results_identical_across_all_three_mappings():
+    problem = make_problem("sgemm", scale="smoke")
+    config = ArchConfig.from_name("2c4w4t")
+    outputs = {}
+    for label, strategy in PAPER_STRATEGIES.items():
+        lws = strategy.select_local_size(problem.global_size, config)
+        outputs[label] = _run(problem, config, lws).outputs["c"]
+    np.testing.assert_array_equal(outputs["ours"], outputs["lws=1"])
+    np.testing.assert_array_equal(outputs["ours"], outputs["lws=32"])
+
+
+def test_trace_counters_and_launch_agree_on_instruction_counts():
+    problem = make_problem("vecadd", scale="smoke")
+    config = ArchConfig.from_name("1c2w4t")
+    tracer = Tracer()
+    device = Device(config, tracer=tracer)
+    result = launch_kernel(device, problem.kernel, problem.arguments, problem.global_size,
+                           local_size=None)
+    assert len(tracer.events) == result.counters.warp_instructions
+    analysis = analyze_trace(tracer.events, result.counters,
+                             threads_per_warp=config.threads_per_warp)
+    assert analysis.warps_seen == result.counters.warps_launched
+    assert analysis.boundedness == "memory-bound"            # vecadd is memory bound
+
+
+def test_overall_cycle_count_is_deterministic():
+    problem = make_problem("gaussian", scale="smoke")
+    config = ArchConfig.from_name("2c2w4t")
+    first = _run(problem, config, None)
+    second = _run(problem, config, None)
+    assert first.cycles == second.cycles
+    assert first.counters.as_dict() == second.counters.as_dict()
+
+
+def test_larger_machines_never_run_slower_with_the_hardware_aware_mapping():
+    """Cycle count with Eq. 1 must be monotonically non-increasing in machine size."""
+    problem = make_problem("vecadd", scale="bench")
+    sizes = ["1c2w2t", "1c4w4t", "2c4w8t", "8c8w8t"]
+    cycles = [_run(problem, ArchConfig.from_name(name), None).cycles for name in sizes]
+    for smaller, larger in zip(cycles, cycles[1:]):
+        assert larger <= smaller * 1.05       # 5% tolerance for cache artefacts

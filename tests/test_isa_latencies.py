@@ -1,0 +1,43 @@
+"""Tests for the opcode timing table (repro.isa.latencies)."""
+
+from repro.isa.latencies import DEFAULT_LATENCIES, FunctionalUnit, OpTiming, timing_for
+from repro.isa.opcodes import Opcode
+
+
+def test_every_opcode_has_timing():
+    for opcode in Opcode:
+        assert opcode in DEFAULT_LATENCIES
+
+
+def test_memory_latency_is_dynamic():
+    assert DEFAULT_LATENCIES[Opcode.LOAD].latency is None
+    assert DEFAULT_LATENCIES[Opcode.STORE].latency is None
+    assert DEFAULT_LATENCIES[Opcode.LOAD].unit is FunctionalUnit.LSU
+
+
+def test_simple_alu_is_single_cycle():
+    assert DEFAULT_LATENCIES[Opcode.ADD].latency == 1
+    assert DEFAULT_LATENCIES[Opcode.ADD].initiation_interval == 1
+
+
+def test_sfu_ops_are_long_and_not_fully_pipelined():
+    for opcode in (Opcode.FDIV, Opcode.FSQRT, Opcode.FEXP):
+        timing = DEFAULT_LATENCIES[opcode]
+        assert timing.unit is FunctionalUnit.SFU
+        assert timing.latency is not None and timing.latency > 8
+        assert timing.initiation_interval > 1
+
+
+def test_float_ops_are_pipelined_multi_cycle():
+    timing = DEFAULT_LATENCIES[Opcode.FMA]
+    assert timing.unit is FunctionalUnit.FPU
+    assert timing.latency >= 2
+    assert timing.initiation_interval == 1
+
+
+def test_timing_for_respects_overrides():
+    override = {Opcode.FMA: OpTiming(FunctionalUnit.FPU, latency=9)}
+    assert timing_for(Opcode.FMA, override).latency == 9
+    assert timing_for(Opcode.FMA).latency == DEFAULT_LATENCIES[Opcode.FMA].latency
+    # opcodes not in the override fall back to the defaults
+    assert timing_for(Opcode.ADD, override).latency == 1

@@ -1,0 +1,72 @@
+"""Tests for the opcode tables (repro.isa.opcodes)."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    CONTROL_OPS,
+    MEMORY_OPS,
+    OP_CLASS,
+    OpClass,
+    Opcode,
+    WRITEBACK_OPS,
+    is_control,
+    is_memory,
+    op_class,
+    writes_register,
+)
+
+
+def test_every_opcode_has_a_class():
+    for opcode in Opcode:
+        assert opcode in OP_CLASS
+        assert isinstance(op_class(opcode), OpClass)
+
+
+def test_memory_ops_are_exactly_load_and_store():
+    assert MEMORY_OPS == {Opcode.LOAD, Opcode.STORE}
+    assert is_memory(Opcode.LOAD)
+    assert is_memory(Opcode.STORE)
+    assert not is_memory(Opcode.ADD)
+
+
+def test_control_ops_include_branching_instructions():
+    for opcode in (Opcode.JMP, Opcode.SPLIT, Opcode.JOIN, Opcode.LOOP_END, Opcode.HALT):
+        assert opcode in CONTROL_OPS
+        assert is_control(opcode)
+    assert not is_control(Opcode.FMA)
+
+
+def test_writeback_classification():
+    assert writes_register(Opcode.ADD)
+    assert writes_register(Opcode.LOAD)
+    assert writes_register(Opcode.CSRR)
+    assert writes_register(Opcode.FMA)
+    assert not writes_register(Opcode.STORE)
+    assert not writes_register(Opcode.JMP)
+    assert not writes_register(Opcode.BAR)
+    assert not writes_register(Opcode.HALT)
+
+
+def test_alu_and_float_opcodes_classified_correctly():
+    assert op_class(Opcode.ADD) is OpClass.INT_ALU
+    assert op_class(Opcode.MUL) is OpClass.INT_MUL
+    assert op_class(Opcode.FADD) is OpClass.FLOAT
+    assert op_class(Opcode.FDIV) is OpClass.SFU
+    assert op_class(Opcode.FSQRT) is OpClass.SFU
+    assert op_class(Opcode.LOAD) is OpClass.MEMORY
+    assert op_class(Opcode.CSRR) is OpClass.SIMT
+    assert op_class(Opcode.NOP) is OpClass.PSEUDO
+
+
+def test_writeback_ops_subset_consistency():
+    # Every op that writes a register must be an ALU/FPU/SFU op, a load or a CSR read.
+    for opcode in WRITEBACK_OPS:
+        assert op_class(opcode) in (
+            OpClass.INT_ALU, OpClass.INT_MUL, OpClass.FLOAT, OpClass.SFU,
+            OpClass.MEMORY, OpClass.SIMT,
+        )
+
+
+def test_opcode_values_are_unique():
+    values = [opcode.value for opcode in Opcode]
+    assert len(values) == len(set(values))

@@ -1,0 +1,68 @@
+"""Tests for CSR files (repro.isa.registers)."""
+
+import pytest
+
+from repro.isa.registers import Csr, CsrFile, NUM_ARG_SLOTS
+
+
+def _csr_file() -> CsrFile:
+    return CsrFile(
+        num_threads=4, num_warps=2, num_cores=3,
+        warp_id=1, core_id=2,
+        workgroup_ids=[10.0, 11.0, 12.0],
+        local_counts=[8.0, 8.0, 5.0],
+        local_size=8, global_size=21, num_groups=3, call_index=4,
+        args={0: 100.0, 1: 3.5},
+    )
+
+
+def test_hardware_shape_csrs():
+    csr = _csr_file()
+    assert csr.read(Csr.NUM_THREADS, 0) == 4
+    assert csr.read(Csr.NUM_WARPS, 0) == 2
+    assert csr.read(Csr.NUM_CORES, 0) == 3
+    assert csr.read(Csr.WARP_ID, 0) == 1
+    assert csr.read(Csr.CORE_ID, 0) == 2
+
+
+def test_thread_id_is_per_lane():
+    csr = _csr_file()
+    assert [csr.read(Csr.THREAD_ID, lane) for lane in range(4)] == [0, 1, 2, 3]
+
+
+def test_workgroup_assignment_is_per_lane():
+    csr = _csr_file()
+    assert csr.read(Csr.WORKGROUP_ID, 0) == 10.0
+    assert csr.read(Csr.WORKGROUP_ID, 2) == 12.0
+    assert csr.read(Csr.LOCAL_COUNT, 2) == 5.0
+
+
+def test_unassigned_lane_reads_zero_workload():
+    csr = _csr_file()
+    assert csr.read(Csr.WORKGROUP_ID, 3) == 0
+    assert csr.read(Csr.LOCAL_COUNT, 3) == 0
+
+
+def test_launch_geometry_csrs():
+    csr = _csr_file()
+    assert csr.read(Csr.LOCAL_SIZE, 0) == 8
+    assert csr.read(Csr.GLOBAL_SIZE, 0) == 21
+    assert csr.read(Csr.NUM_GROUPS, 0) == 3
+    assert csr.read(Csr.CALL_INDEX, 0) == 4
+
+
+def test_argument_window():
+    csr = _csr_file()
+    assert csr.read(Csr.ARG_BASE + 0, 0) == 100.0
+    assert csr.read(Csr.ARG_BASE + 1, 3) == 3.5
+    assert csr.read(Csr.ARG_BASE + 2, 0) == 0.0        # unset slots read zero
+
+
+def test_unknown_csr_raises():
+    csr = _csr_file()
+    with pytest.raises(KeyError):
+        csr.read(0x999, 0)
+
+
+def test_argument_window_size_is_bounded():
+    assert NUM_ARG_SLOTS >= 16     # enough for every library kernel signature

@@ -1,0 +1,108 @@
+"""Tests for the workgroup wrapper (repro.kernels.wrapper).
+
+The wrapper is the POCL-style loop around the per-work-item body: its
+structure (sections, CSR reads, loop) is what the lws parameter acts on.
+"""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Csr
+from repro.kernels.library import VECADD
+from repro.kernels.wrapper import (
+    SECTION_BODY,
+    SECTION_EXIT,
+    SECTION_INIT,
+    SECTION_LOOP,
+    build_workgroup_program,
+    clear_wrapper_cache,
+)
+from repro.sim.config import ArchConfig
+
+from tests.simt_harness import make_csr, run_program
+
+
+def setup_function(_fn):
+    clear_wrapper_cache()
+
+
+def test_wrapper_contains_all_standard_sections():
+    program = build_workgroup_program(VECADD, use_cache=False)
+    sections = set(program.sections)
+    for expected in (SECTION_INIT, SECTION_LOOP, SECTION_EXIT):
+        assert expected in sections
+    # the kernel body introduces its own tags (load/compute/store for vecadd)
+    assert {"load", "compute", "store"} <= sections
+
+
+def test_wrapper_reads_workgroup_csrs_in_init():
+    program = build_workgroup_program(VECADD, use_cache=False)
+    init_csrs = {int(i.imm) for i in program if i.opcode is Opcode.CSRR
+                 and i.section == SECTION_INIT}
+    assert int(Csr.WORKGROUP_ID) in init_csrs
+    assert int(Csr.LOCAL_COUNT) in init_csrs
+    assert int(Csr.LOCAL_SIZE) in init_csrs
+
+
+def test_wrapper_has_loop_and_halt():
+    program = build_workgroup_program(VECADD, use_cache=False)
+    opcodes = [i.opcode for i in program]
+    assert Opcode.LOOP_BEGIN in opcodes
+    assert Opcode.LOOP_END in opcodes
+    assert Opcode.HALT in opcodes
+
+
+def test_wrapper_is_cached_per_kernel():
+    first = build_workgroup_program(VECADD)
+    second = build_workgroup_program(VECADD)
+    assert first is second
+    clear_wrapper_cache()
+    third = build_workgroup_program(VECADD)
+    assert third is not first
+
+
+def test_wrapper_metadata_names_the_kernel():
+    program = build_workgroup_program(VECADD, use_cache=False)
+    assert program.metadata["kernel"] == "vecadd"
+
+
+def test_wrapper_executes_the_whole_workgroup_per_lane():
+    """Each lane must iterate over its assigned workgroup (lws items)."""
+    program = build_workgroup_program(VECADD, use_cache=False)
+    config = ArchConfig(cores=1, warps_per_core=2, threads_per_warp=4)
+    lws, lanes = 3, 4
+    # buffers: a at 0, b at 100, c at 200; arguments via CSR slots 0..2
+    memory = {}
+    for i in range(lws * lanes):
+        memory[0 + i] = float(i)
+        memory[100 + i] = 10.0 * i
+    csr = make_csr(
+        lanes, config, args={0: 0.0, 1: 100.0, 2: 200.0},
+        workgroup_ids=[0.0, 1.0, 2.0, 3.0],
+        local_counts=[lws] * lanes,
+        local_size=lws, global_size=lws * lanes,
+    )
+    run = run_program(program, lanes=lanes, config=config, memory=memory, csr=csr)
+    for i in range(lws * lanes):
+        assert run.mem(200 + i) == pytest.approx(11.0 * i)
+
+
+def test_wrapper_respects_per_lane_local_counts():
+    """A partial workgroup (smaller local count) must not write extra elements."""
+    program = build_workgroup_program(VECADD, use_cache=False)
+    config = ArchConfig(cores=1, warps_per_core=2, threads_per_warp=4)
+    lws = 4
+    memory = {i: 1.0 for i in range(32)}
+    memory.update({100 + i: 2.0 for i in range(32)})
+    csr = make_csr(
+        2, config, args={0: 0.0, 1: 100.0, 2: 200.0},
+        workgroup_ids=[0.0, 1.0],
+        local_counts=[4.0, 2.0],             # second group is partial
+        local_size=lws, global_size=6,
+    )
+    run = run_program(program, lanes=2, config=config, memory=memory, csr=csr)
+    for i in range(6):
+        assert run.mem(200 + i) == pytest.approx(3.0)
+    # elements beyond the partial group were never written
+    assert run.mem(206) == 0.0
+    assert run.mem(207) == 0.0

@@ -1,0 +1,89 @@
+"""Tests for ArchConfig (repro.sim.config)."""
+
+import pytest
+
+from repro.sim.config import ArchConfig, ConfigError, FIGURE1_CONFIG, LARGEST_CONFIG, SMALLEST_CONFIG
+
+
+def test_hardware_parallelism_is_the_product_of_the_triple():
+    config = ArchConfig(cores=4, warps_per_core=8, threads_per_warp=16)
+    assert config.hardware_parallelism == 4 * 8 * 16
+
+
+def test_name_uses_the_paper_scheme():
+    assert ArchConfig(cores=1, warps_per_core=2, threads_per_warp=4).name == "1c2w4t"
+    assert ArchConfig(cores=64, warps_per_core=32, threads_per_warp=32).name == "64c32w32t"
+
+
+def test_from_name_round_trips():
+    for name in ("1c2w2t", "4c8w8t", "64c32w32t", "12c4w16t"):
+        assert ArchConfig.from_name(name).name == name
+
+
+def test_from_name_accepts_overrides():
+    config = ArchConfig.from_name("2c2w2t", dram_latency=500)
+    assert config.dram_latency == 500
+    assert config.cores == 2
+
+
+def test_from_name_rejects_garbage():
+    for bad in ("2c2w", "banana", "0c2w2t-ish", "c2w2t"):
+        with pytest.raises(ConfigError):
+            ArchConfig.from_name(bad)
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ConfigError):
+        ArchConfig(cores=0)
+    with pytest.raises(ConfigError):
+        ArchConfig(warps_per_core=-1)
+    with pytest.raises(ConfigError):
+        ArchConfig(threads_per_warp=0)
+
+
+def test_invalid_memory_geometry_rejected():
+    with pytest.raises(ConfigError):
+        ArchConfig(l1_size_words=100, l1_line_words=16, l1_ways=4)   # not a multiple
+    with pytest.raises(ConfigError):
+        ArchConfig(dram_lines_per_cycle=0)
+
+
+def test_negative_overheads_rejected():
+    with pytest.raises(ConfigError):
+        ArchConfig(kernel_launch_overhead=-1)
+
+
+def test_with_shape_preserves_other_parameters():
+    base = ArchConfig(dram_latency=321)
+    derived = base.with_shape(8, 4, 2)
+    assert derived.cores == 8 and derived.warps_per_core == 4 and derived.threads_per_warp == 2
+    assert derived.dram_latency == 321
+    assert base.cores == 1           # original untouched (frozen)
+
+
+def test_scaled_memory_keeps_line_alignment():
+    config = ArchConfig().scaled_memory(0.5)
+    assert config.l1_size_words % (config.l1_line_words * config.l1_ways) == 0
+    assert config.l2_size_words % (config.l2_line_words * config.l2_ways) == 0
+    assert config.l1_size_words <= ArchConfig().l1_size_words
+
+
+def test_describe_mentions_the_key_parameters():
+    text = ArchConfig(cores=2, warps_per_core=4, threads_per_warp=8).describe()
+    assert "2c4w8t" in text
+    assert "hp = 64" in text
+    assert "DRAM" in text
+
+
+def test_paper_reference_configs():
+    assert FIGURE1_CONFIG.name == "1c2w4t"
+    assert SMALLEST_CONFIG.name == "1c2w2t"
+    assert LARGEST_CONFIG.name == "64c32w32t"
+    assert LARGEST_CONFIG.hardware_parallelism == 65536
+
+
+def test_config_is_hashable_and_frozen():
+    config = ArchConfig()
+    with pytest.raises(Exception):
+        config.cores = 2          # type: ignore[misc]
+    assert isinstance(hash(config.name), int)

@@ -1,0 +1,321 @@
+"""Tests for the SIMT core model (repro.sim.core).
+
+Functional semantics (arithmetic, divergence, loops, memory, CSRs) are covered
+through hand-built programs executed on the harness; timing-related behaviour
+(scoreboard stalls, functional-unit initiation intervals, barriers) is checked
+through cycle counts and counters.
+"""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Csr
+from repro.kernels.builder import KernelBuilder
+from repro.sim.config import ArchConfig
+from repro.sim.core import SimtCore, SimulationError
+from repro.sim.memory.hierarchy import MemoryHierarchy
+from repro.sim.memory.mainmem import MainMemory
+from repro.sim.stats import PerfCounters
+from repro.sim.warp import Warp
+
+from tests.simt_harness import make_csr, run_program
+
+
+def _program(instructions, registers, name="test"):
+    return Program.link(name, instructions, labels={}, num_registers=registers)
+
+
+# ----------------------------------------------------------------------
+# functional semantics of individual opcodes
+# ----------------------------------------------------------------------
+def test_integer_arithmetic_semantics():
+    b = KernelBuilder("ints")
+    seven, three = b.const(7), b.const(3)
+    results = {
+        "add": seven + three,
+        "sub": seven - three,
+        "mul": seven * three,
+        "div": seven / three,
+        "rem": seven % three,
+        "min": b.minimum(seven, three),
+        "max": b.maximum(seven, three),
+    }
+    kept = {k: b.copy(v) for k, v in results.items()}
+    b.halt()
+    run = run_program(b.link(), lanes=1)
+    assert run.reg(kept["add"].reg) == 10
+    assert run.reg(kept["sub"].reg) == 4
+    assert run.reg(kept["mul"].reg) == 21
+    assert run.reg(kept["div"].reg) == 2          # truncating division
+    assert run.reg(kept["rem"].reg) == 1
+    assert run.reg(kept["min"].reg) == 3
+    assert run.reg(kept["max"].reg) == 7
+
+
+def test_negative_integer_division_truncates_toward_zero():
+    b = KernelBuilder("negdiv")
+    a, d = b.const(-7), b.const(2)
+    q = b.copy(a / d)
+    r = b.copy(a % d)
+    b.halt()
+    run = run_program(b.link(), lanes=1)
+    assert run.reg(q.reg) == -3          # RISC-V style truncation, not floor
+    assert run.reg(r.reg) == -1
+
+
+def test_float_arithmetic_and_conversions():
+    b = KernelBuilder("floats")
+    x = b.const(2.5)
+    y = b.const(4.0)
+    kept = {
+        "fadd": b.copy(x + y),
+        "fsub": b.copy(x - y),
+        "fmul": b.copy(x * y),
+        "fdiv": b.copy(y / x),
+        "sqrt": b.copy(b.sqrt(y)),
+        "trunc": b.copy(x.to_int()),
+    }
+    b.halt()
+    run = run_program(b.link(), lanes=1)
+    assert run.reg(kept["fadd"].reg) == pytest.approx(6.5)
+    assert run.reg(kept["fsub"].reg) == pytest.approx(-1.5)
+    assert run.reg(kept["fmul"].reg) == pytest.approx(10.0)
+    assert run.reg(kept["fdiv"].reg) == pytest.approx(1.6)
+    assert run.reg(kept["sqrt"].reg) == pytest.approx(2.0)
+    assert run.reg(kept["trunc"].reg) == 2
+
+
+def test_division_by_zero_raises_simulation_error():
+    b = KernelBuilder("divzero")
+    a, zero = b.const(1), b.const(0)
+    _ = b.copy(a / zero)
+    b.halt()
+    with pytest.raises(SimulationError, match="division by zero"):
+        run_program(b.link(), lanes=1)
+
+
+def test_csr_reads_are_per_lane():
+    b = KernelBuilder("csr")
+    tid = b.copy(b.csr(Csr.THREAD_ID))
+    wid = b.copy(b.csr(Csr.WARP_ID))
+    b.halt()
+    run = run_program(b.link(), lanes=4)
+    assert run.lane_values(tid.reg) == [0, 1, 2, 3]
+    assert run.lane_values(wid.reg) == [0, 0, 0, 0]
+
+
+def test_store_then_load_same_address_is_consistent():
+    b = KernelBuilder("st_ld")
+    base = b.const(40)
+    tid = b.csr(Csr.THREAD_ID)
+    b.store(tid.to_float() * 2.0, base, tid)
+    reread = b.copy(b.load(base, tid))
+    b.halt()
+    run = run_program(b.link(), lanes=4)
+    assert run.lane_values(reread.reg) == [0.0, 2.0, 4.0, 6.0]
+
+
+def test_inactive_lanes_do_not_execute():
+    b = KernelBuilder("masked")
+    flag = b.copy(b.const(0))
+    b.move(flag, b.const(1))
+    b.halt()
+    config = ArchConfig(cores=1, warps_per_core=2, threads_per_warp=4)
+    run = run_program(b.link(), lanes=2, config=config)   # only lanes 0-1 of 4 active
+    assert run.lane_values(flag.reg)[:2] == [1, 1]
+    assert run.lane_values(flag.reg)[2:] == [0.0, 0.0]
+
+
+# ----------------------------------------------------------------------
+# timing behaviour
+# ----------------------------------------------------------------------
+def _single_warp_core(program, config=None, lanes=2):
+    config = config or ArchConfig(cores=1, warps_per_core=2, threads_per_warp=max(2, lanes))
+    memory = MainMemory(4096)
+    hierarchy = MemoryHierarchy(config)
+    counters = PerfCounters()
+    core = SimtCore(0, config, program, hierarchy, memory, counters)
+    warp = Warp(0, config.threads_per_warp, program.num_registers, make_csr(lanes, config),
+                active_lanes=lanes)
+    core.add_warp(warp)
+    return core, warp, counters
+
+
+def test_dependent_instructions_wait_for_the_scoreboard():
+    # FMA has a 4-cycle latency; a dependent add must not issue before it completes
+    instructions = [
+        Instruction(Opcode.LI, dst=0, imm=1.0),
+        Instruction(Opcode.LI, dst=1, imm=2.0),
+        Instruction(Opcode.FMA, dst=2, srcs=(0, 1, 1)),
+        Instruction(Opcode.FADD, dst=3, srcs=(2, 2)),
+        Instruction(Opcode.HALT),
+    ]
+    program = _program(instructions, 4)
+    core, warp, counters = _single_warp_core(program)
+    issue_cycles = {}
+    cycle = 0
+    while core.busy:
+        pc_before = warp.pc
+        if core.try_issue(cycle):
+            issue_cycles[pc_before] = cycle
+        cycle += 1
+        assert cycle < 200
+    # the FADD (pc=3) must wait for the FMA's 4-cycle latency
+    assert issue_cycles[3] >= issue_cycles[2] + 4
+    assert warp.regs[0][3] == pytest.approx(8.0)
+
+
+def test_independent_instructions_issue_back_to_back():
+    instructions = [
+        Instruction(Opcode.LI, dst=0, imm=1),
+        Instruction(Opcode.LI, dst=1, imm=2),
+        Instruction(Opcode.LI, dst=2, imm=3),
+        Instruction(Opcode.HALT),
+    ]
+    program = _program(instructions, 3)
+    core, warp, counters = _single_warp_core(program)
+    issued = 0
+    for cycle in range(10):
+        if core.try_issue(cycle):
+            issued += 1
+        if not core.busy:
+            break
+    assert issued == 4        # one per cycle, no stalls
+
+
+def test_sfu_initiation_interval_creates_structural_stalls():
+    # two independent FDIVs cannot issue back-to-back (II = 12)
+    instructions = [
+        Instruction(Opcode.LI, dst=0, imm=8.0),
+        Instruction(Opcode.LI, dst=1, imm=2.0),
+        Instruction(Opcode.FDIV, dst=2, srcs=(0, 1)),
+        Instruction(Opcode.FDIV, dst=3, srcs=(0, 1)),
+        Instruction(Opcode.HALT),
+    ]
+    program = _program(instructions, 4)
+    core, warp, _ = _single_warp_core(program)
+    issue_cycles = {}
+    cycle = 0
+    while core.busy and cycle < 500:
+        pc_before = warp.pc
+        if core.try_issue(cycle):
+            issue_cycles[pc_before] = cycle
+        cycle += 1
+    assert issue_cycles[3] - issue_cycles[2] >= 12
+
+
+def test_round_robin_scheduler_alternates_between_ready_warps():
+    instructions = [
+        Instruction(Opcode.LI, dst=0, imm=1),
+        Instruction(Opcode.ADD, dst=0, srcs=(0, 0)),
+        Instruction(Opcode.ADD, dst=0, srcs=(0, 0)),
+        Instruction(Opcode.HALT),
+    ]
+    program = _program(instructions, 1)
+    config = ArchConfig(cores=1, warps_per_core=2, threads_per_warp=2)
+    memory = MainMemory(1024)
+    hierarchy = MemoryHierarchy(config)
+    counters = PerfCounters()
+    core = SimtCore(0, config, program, hierarchy, memory, counters)
+    for warp_id in range(2):
+        core.add_warp(Warp(warp_id, 2, program.num_registers, make_csr(2, config)))
+    issued_warps = []
+    cycle = 0
+    while core.busy and cycle < 100:
+        before = [w.pc for w in core.warps]
+        if core.try_issue(cycle):
+            after = [w.pc for w in core.warps]
+            issued_warps.append(0 if before[0] != after[0] else 1)
+        cycle += 1
+    # both warps made progress and the schedule interleaves them
+    assert set(issued_warps) == {0, 1}
+    assert issued_warps[:2] != [issued_warps[0], issued_warps[0]]
+
+
+def test_barrier_synchronises_warps_within_a_core():
+    b = KernelBuilder("bar")
+    before = b.copy(b.const(1))
+    b.barrier()
+    after = b.copy(b.const(2))
+    b.halt()
+    program = b.link()
+
+    config = ArchConfig(cores=1, warps_per_core=2, threads_per_warp=2)
+    memory = MainMemory(1024)
+    hierarchy = MemoryHierarchy(config)
+    counters = PerfCounters()
+    core = SimtCore(0, config, program, hierarchy, memory, counters)
+    for warp_id in range(2):
+        core.add_warp(Warp(warp_id, 2, program.num_registers, make_csr(2, config)))
+    cycle = 0
+    while core.busy and cycle < 500:
+        core.try_issue(cycle)
+        cycle += 1
+    assert not core.busy
+    assert counters.barriers == 2
+    for warp in core.warps:
+        assert warp.regs[0][after.reg] == 2
+
+
+def test_join_with_empty_stack_raises():
+    instructions = [Instruction(Opcode.JOIN), Instruction(Opcode.HALT)]
+    program = _program(instructions, 0)
+    with pytest.raises(SimulationError, match="SIMT stack"):
+        run_program(program, lanes=2)
+
+
+def test_loop_end_without_loop_begin_raises():
+    instructions = [
+        Instruction(Opcode.LI, dst=0, imm=0),
+        Instruction(Opcode.LOOP_END, srcs=(0,), target=0),
+        Instruction(Opcode.HALT),
+    ]
+    program = _program(instructions, 1)
+    with pytest.raises(SimulationError, match="LOOP_END"):
+        run_program(program, lanes=2)
+
+
+def test_runaway_pc_raises():
+    # a JMP to the HALT is fine, but a warp whose PC walks off the end must fail loudly
+    instructions = [
+        Instruction(Opcode.LI, dst=0, imm=0),
+        Instruction(Opcode.HALT),
+    ]
+    program = _program(instructions, 1)
+    core, warp, _ = _single_warp_core(program)
+    warp.pc = 5
+    with pytest.raises(SimulationError, match="PC"):
+        core.try_issue(0)
+
+
+def test_instruction_and_lane_counters():
+    b = KernelBuilder("count")
+    x = b.const(1.5)
+    y = b.copy(x + x)
+    b.store(y, b.const(10))
+    b.halt()
+    run = run_program(b.link(), lanes=3)
+    counters = run.counters
+    assert counters.warp_instructions == len(b._instructions)
+    assert counters.lane_instructions == counters.warp_instructions * 3
+    assert counters.memory_instructions == 1
+    assert counters.stores == 1
+
+
+def test_tmc_reduces_active_mask_and_zero_halts():
+    instructions = [
+        Instruction(Opcode.LI, dst=0, imm=1),
+        Instruction(Opcode.TMC, imm=2),
+        Instruction(Opcode.ADD, dst=0, srcs=(0, 0)),
+        Instruction(Opcode.HALT),
+    ]
+    program = _program(instructions, 1)
+    run = run_program(program, lanes=4)
+    # lanes 0-1 executed the post-TMC add, lanes 2-3 kept the original value
+    assert run.lane_values(0) == [2, 2, 1, 1]
+
+    halt_program = _program([Instruction(Opcode.TMC, imm=0), Instruction(Opcode.HALT)], 0)
+    run2 = run_program(halt_program, lanes=4)
+    assert run2.warp.halted

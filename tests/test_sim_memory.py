@@ -1,0 +1,240 @@
+"""Tests for the memory subsystem: main memory, caches, DRAM, coalescing, hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import ArchConfig
+from repro.sim.memory.cache import Cache
+from repro.sim.memory.coalescer import coalesce, coalescing_factor
+from repro.sim.memory.dram import DramModel
+from repro.sim.memory.hierarchy import MemoryHierarchy
+from repro.sim.memory.mainmem import MainMemory, MemoryError_
+
+
+# ----------------------------------------------------------------------
+# MainMemory
+# ----------------------------------------------------------------------
+class TestMainMemory:
+    def test_read_write_roundtrip(self):
+        memory = MainMemory(128)
+        memory.write(5, 3.25)
+        assert memory.read(5) == 3.25
+        assert memory.read(6) == 0.0
+
+    def test_block_roundtrip_and_fill(self):
+        memory = MainMemory(64)
+        memory.write_block(8, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(memory.read_block(8, 3), [1.0, 2.0, 3.0])
+        memory.fill(8, 3, 9.0)
+        np.testing.assert_array_equal(memory.read_block(8, 3), [9.0, 9.0, 9.0])
+
+    def test_out_of_bounds_raises(self):
+        memory = MainMemory(16)
+        with pytest.raises(MemoryError_):
+            memory.read(16)
+        with pytest.raises(MemoryError_):
+            memory.write(-1, 0.0)
+        with pytest.raises(MemoryError_):
+            memory.read_block(10, 10)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MainMemory(0)
+
+    def test_view_is_read_only(self):
+        memory = MainMemory(8)
+        view = memory.view()
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_integers_survive_round_trips_exactly(self):
+        memory = MainMemory(8)
+        memory.write(0, 123456789.0)
+        assert int(memory.read(0)) == 123456789
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_first_access_misses_then_hits(self):
+        cache = Cache("L1", size_words=256, line_words=16, ways=2)
+        assert cache.access(3) is False
+        assert cache.access(3) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_within_a_set(self):
+        # 2 ways, 4 sets: lines 0, 4, 8 all map to set 0
+        cache = Cache("L1", size_words=128, line_words=16, ways=2)
+        assert cache.num_sets == 4
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)        # refresh line 0 -> line 4 becomes LRU
+        cache.access(8)        # evicts line 4
+        assert cache.access(0) is True
+        assert cache.access(4) is False
+        assert cache.evictions >= 1
+
+    def test_writes_are_write_through_no_allocate(self):
+        cache = Cache("L1", size_words=256, line_words=16, ways=2)
+        assert cache.access(7, write=True) is False
+        assert cache.write_misses == 1
+        # the write did not allocate, so a later read still misses
+        assert cache.access(7) is False
+
+    def test_invalidate_clears_contents(self):
+        cache = Cache("L1", size_words=256, line_words=16, ways=2)
+        cache.access(1)
+        cache.access(2)
+        assert cache.resident_lines == 2
+        cache.invalidate()
+        assert cache.resident_lines == 0
+        assert cache.access(1) is False
+
+    def test_reset_statistics_keeps_contents(self):
+        cache = Cache("L1", size_words=256, line_words=16, ways=2)
+        cache.access(1)
+        cache.reset_statistics()
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.access(1) is True       # line still resident
+
+    def test_line_address_mapping(self):
+        cache = Cache("L1", size_words=256, line_words=16, ways=2)
+        assert cache.line_address(0) == 0
+        assert cache.line_address(15) == 0
+        assert cache.line_address(16) == 1
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size_words=100, line_words=16, ways=3)
+        with pytest.raises(ValueError):
+            Cache("bad", size_words=0, line_words=16, ways=1)
+
+    def test_hit_rate(self):
+        cache = Cache("L1", size_words=256, line_words=16, ways=2)
+        cache.access(1)
+        cache.access(1)
+        cache.access(1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+# ----------------------------------------------------------------------
+# DRAM
+# ----------------------------------------------------------------------
+class TestDram:
+    def test_single_access_latency(self):
+        dram = DramModel(latency=100, lines_per_cycle=2.0)
+        assert dram.access(10) == 110
+
+    def test_bandwidth_queueing_builds_up(self):
+        dram = DramModel(latency=100, lines_per_cycle=0.5)   # one line every 2 cycles
+        first = dram.access(0)
+        second = dram.access(0)
+        third = dram.access(0)
+        assert first == 100
+        assert second == 102
+        assert third == 104
+        assert dram.lines_transferred == 3
+        assert dram.total_queue_cycles >= 4
+
+    def test_idle_gaps_do_not_accumulate_credit(self):
+        dram = DramModel(latency=10, lines_per_cycle=1.0)
+        dram.access(0)
+        # long idle gap; the next access at cycle 100 must not be early
+        assert dram.access(100) == 110
+
+    def test_reset_clears_queue_and_statistics(self):
+        dram = DramModel(latency=10, lines_per_cycle=0.1)
+        dram.access(0)
+        dram.access(0)
+        dram.reset()
+        assert dram.lines_transferred == 0
+        assert dram.access(0) == 10
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel(latency=-1, lines_per_cycle=1)
+        with pytest.raises(ValueError):
+            DramModel(latency=1, lines_per_cycle=0)
+
+
+# ----------------------------------------------------------------------
+# Coalescer
+# ----------------------------------------------------------------------
+class TestCoalescer:
+    def test_consecutive_addresses_coalesce_to_one_line(self):
+        lines = coalesce([0, 1, 2, 3], line_words=16)
+        assert len(lines) == 1
+        assert lines[0][0] == 0
+        assert lines[0][1] == [0, 1, 2, 3]
+
+    def test_strided_addresses_hit_multiple_lines(self):
+        lines = coalesce([0, 16, 32, 48], line_words=16)
+        assert [line for line, _ in lines] == [0, 1, 2, 3]
+
+    def test_duplicate_addresses_share_a_request(self):
+        lines = coalesce([5, 5, 5], line_words=16)
+        assert len(lines) == 1
+        assert lines[0][1] == [0, 1, 2]
+
+    def test_order_is_first_appearance(self):
+        lines = coalesce([32, 0, 33], line_words=16)
+        assert [line for line, _ in lines] == [2, 0]
+
+    def test_coalescing_factor(self):
+        assert coalescing_factor([0, 1, 2, 3], 16) == 4.0
+        assert coalescing_factor([0, 16, 32, 48], 16) == 1.0
+        assert coalescing_factor([], 16) == 0.0
+
+    def test_invalid_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([0], line_words=0)
+
+
+# ----------------------------------------------------------------------
+# MemoryHierarchy
+# ----------------------------------------------------------------------
+class TestHierarchy:
+    def _hierarchy(self):
+        config = ArchConfig(cores=2, warps_per_core=2, threads_per_warp=4)
+        return config, MemoryHierarchy(config)
+
+    def test_cold_load_goes_to_dram_then_hits_l1(self):
+        config, hierarchy = self._hierarchy()
+        first = hierarchy.load_line(0, 5, now=0)
+        assert first.level == "dram"
+        assert first.latency >= config.dram_latency
+        second = hierarchy.load_line(0, 5, now=200)
+        assert second.level == "l1"
+        assert second.latency == config.l1_hit_latency
+
+    def test_l2_is_shared_between_cores(self):
+        config, hierarchy = self._hierarchy()
+        hierarchy.load_line(0, 7, now=0)        # core 0 brings the line into L2
+        result = hierarchy.load_line(1, 7, now=300)
+        assert result.level == "l2"
+        assert result.latency == config.l1_hit_latency + config.l2_hit_latency
+
+    def test_stores_never_stall(self):
+        _, hierarchy = self._hierarchy()
+        result = hierarchy.store_line(0, 9, now=0)
+        assert result.latency == 1
+
+    def test_statistics_aggregate_all_levels(self):
+        _, hierarchy = self._hierarchy()
+        hierarchy.load_line(0, 1, now=0)
+        hierarchy.load_line(0, 1, now=300)
+        stats = hierarchy.statistics()
+        assert stats["l1_hits"] == 1
+        assert stats["l1_misses"] == 1
+        assert stats["l2_misses"] == 1
+        assert stats["dram_lines"] == 1
+
+    def test_invalidate_resets_everything(self):
+        _, hierarchy = self._hierarchy()
+        hierarchy.load_line(0, 1, now=0)
+        hierarchy.invalidate()
+        stats = hierarchy.statistics()
+        assert stats == {"l1_hits": 0, "l1_misses": 0, "l2_hits": 0, "l2_misses": 0,
+                         "dram_lines": 0, "dram_queue_cycles": 0}
+        assert hierarchy.load_line(0, 1, now=0).level == "dram"

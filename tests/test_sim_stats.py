@@ -1,0 +1,55 @@
+"""Tests for performance counters (repro.sim.stats)."""
+
+import pytest
+
+from repro.sim.stats import PerfCounters
+
+
+def test_default_counters_are_zero():
+    counters = PerfCounters()
+    assert counters.cycles == 0
+    assert counters.ipc == 0.0
+    assert counters.l1_hit_rate == 0.0
+    assert counters.lanes_per_instruction == 0.0
+
+
+def test_merge_adds_every_field():
+    a = PerfCounters(cycles=10, warp_instructions=5, l1_hits=3, loads=2)
+    b = PerfCounters(cycles=7, warp_instructions=4, l1_hits=1, loads=1, stores=9)
+    a.merge(b)
+    assert a.cycles == 17
+    assert a.warp_instructions == 9
+    assert a.l1_hits == 4
+    assert a.loads == 3
+    assert a.stores == 9
+    # merge returns self for chaining
+    assert a.merge(PerfCounters()) is a
+
+
+def test_copy_is_independent():
+    a = PerfCounters(cycles=5)
+    b = a.copy()
+    b.cycles = 99
+    assert a.cycles == 5
+
+
+def test_dict_round_trip():
+    a = PerfCounters(cycles=12, warp_instructions=6, memory_instructions=2, dram_lines=3)
+    restored = PerfCounters.from_dict(a.as_dict())
+    assert restored == a
+
+
+def test_from_dict_ignores_unknown_keys():
+    restored = PerfCounters.from_dict({"cycles": 4, "not_a_counter": 17})
+    assert restored.cycles == 4
+
+
+def test_derived_metrics():
+    counters = PerfCounters(cycles=100, warp_instructions=50, lane_instructions=200,
+                            memory_instructions=10, l1_hits=8, l1_misses=2,
+                            l2_hits=1, l2_misses=1)
+    assert counters.ipc == pytest.approx(0.5)
+    assert counters.lanes_per_instruction == pytest.approx(4.0)
+    assert counters.memory_intensity == pytest.approx(0.2)
+    assert counters.l1_hit_rate == pytest.approx(0.8)
+    assert counters.l2_hit_rate == pytest.approx(0.5)
