@@ -17,6 +17,15 @@ Quick start::
     print(result.summary())                          # lws chosen at runtime (Eq. 1)
 """
 
+from repro.campaign import (
+    Campaign,
+    CampaignOutcome,
+    CampaignRunner,
+    JobFailure,
+    JobResult,
+    JobSpec,
+    ResultCache,
+)
 from repro.core import (
     FixedMapping,
     HardwareAwareMapping,
@@ -38,15 +47,22 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArchConfig",
+    "Campaign",
+    "CampaignOutcome",
+    "CampaignRunner",
     "CommandQueue",
     "Context",
     "Device",
     "FixedMapping",
     "Gpu",
     "HardwareAwareMapping",
+    "JobFailure",
+    "JobResult",
+    "JobSpec",
     "Kernel",
     "KernelBuilder",
     "LaunchResult",
+    "ResultCache",
     "MappingAnalyzer",
     "MappingStrategy",
     "NDRange",

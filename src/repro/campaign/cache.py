@@ -1,0 +1,164 @@
+"""Persistent, content-addressed result cache.
+
+Results are stored as one JSON object per line in ``results.jsonl`` under the
+cache directory -- append-only, human greppable, and robust to partial writes
+(corrupt lines are skipped on load).  Every record carries the simulator
+version and cache schema version it was produced under; records from a
+different simulator release are ignored at load time, so bumping
+``repro.__version__`` invalidates the whole cache without touching the file.
+
+The cache directory resolves, in order, to:
+
+1. an explicit ``path`` argument,
+2. the ``REPRO_CACHE_DIR`` environment variable,
+3. ``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.campaign.result import JobResult
+from repro.campaign.spec import CACHE_SCHEMA_VERSION, JobSpec, simulator_version
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: File name of the JSON-lines journal inside the cache directory.
+CACHE_FILE_NAME = "results.jsonl"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory honouring ``REPRO_CACHE_DIR`` and XDG conventions."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting plus on-disk footprint of one cache instance."""
+
+    path: str
+    entries: int
+    stale_entries: int          # records written under another simulator version
+    hits: int
+    misses: int
+    size_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def render(self) -> str:
+        """Multi-line human readable summary (used by ``repro campaign status``)."""
+        return "\n".join([
+            f"cache directory : {self.path}",
+            f"usable entries  : {self.entries} (+{self.stale_entries} stale)",
+            f"journal size    : {self.size_bytes} bytes",
+            f"session hits    : {self.hits}",
+            f"session misses  : {self.misses}",
+            f"session hit rate: {self.hit_rate:.0%}",
+        ])
+
+
+class ResultCache:
+    """Content-addressed store of :class:`JobResult` summaries."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.directory = Path(path).expanduser() if path is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self._stale = 0
+        self._index: Dict[str, JobResult] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / CACHE_FILE_NAME
+
+    def _load(self) -> None:
+        """Read the journal, indexing records usable under this simulator."""
+        self._index.clear()
+        self._stale = 0
+        if not self.journal_path.exists():
+            return
+        current = simulator_version()
+        for line in self.journal_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if (record.get("schema") != CACHE_SCHEMA_VERSION
+                        or record.get("simulator") != current):
+                    self._stale += 1
+                    continue
+                self._index[record["hash"]] = JobResult.from_dict(record["result"])
+            except (KeyError, TypeError, ValueError):
+                self._stale += 1   # corrupt line: count it, keep loading
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, spec: JobSpec) -> bool:
+        return spec.content_hash() in self._index
+
+    def get(self, spec: JobSpec) -> Optional[JobResult]:
+        """Look up a spec; counts a hit or a miss and marks served results."""
+        result = self._index.get(spec.content_hash())
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result.as_cached()
+
+    def put(self, spec: JobSpec, result: JobResult) -> None:
+        """Persist one result (idempotent per content hash)."""
+        job_hash = spec.content_hash()
+        if job_hash in self._index:
+            return
+        # Index the summary only: traced results can carry 10^5 events, and
+        # neither the journal nor get() ever serves them.
+        self._index[job_hash] = (replace(result, events=None)
+                                 if result.events is not None else result)
+        record = {
+            "hash": job_hash,
+            "schema": CACHE_SCHEMA_VERSION,
+            "simulator": simulator_version(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.journal_path.open("a") as journal:
+            journal.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def clear(self) -> int:
+        """Delete the journal; returns how many usable entries were dropped."""
+        dropped = len(self._index)
+        if self.journal_path.exists():
+            self.journal_path.unlink()
+        self._index.clear()
+        self._stale = 0
+        return dropped
+
+    def stats(self) -> CacheStats:
+        """Current accounting snapshot."""
+        size = self.journal_path.stat().st_size if self.journal_path.exists() else 0
+        return CacheStats(
+            path=str(self.directory),
+            entries=len(self._index),
+            stale_entries=self._stale,
+            hits=self.hits,
+            misses=self.misses,
+            size_bytes=size,
+        )

@@ -1,0 +1,220 @@
+"""Campaign execution: cache-first, then fan out across worker processes.
+
+The :class:`CampaignRunner` takes a :class:`~repro.campaign.spec.Campaign`
+and produces one outcome per submitted spec, **in submission order**, no
+matter how many workers raced to produce them:
+
+1. every spec is first resolved against the :class:`ResultCache` (traced jobs
+   are always executed -- the cache stores summaries, not event logs);
+2. the remaining specs are deduplicated by content hash, so a point submitted
+   five times in one campaign is simulated once;
+3. distinct points are executed -- in-process for ``workers <= 1``, in a
+   ``ProcessPoolExecutor`` otherwise -- and every fresh result is written back
+   to the cache;
+4. a job that raises becomes a :class:`~repro.campaign.result.JobFailure`
+   slotted at its submission index; the rest of the campaign completes.
+
+A progress callback, when given, fires once per submitted job with
+``(index, total, spec, outcome)`` -- immediately for cache hits, on
+completion for simulated jobs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.result import JobFailure, JobResult
+from repro.campaign.spec import Campaign, JobSpec
+from repro.campaign.worker import execute_job
+
+#: ``progress(index, total, spec, outcome)``; outcome is a result or failure.
+ProgressCallback = Callable[[int, int, JobSpec, Union[JobResult, JobFailure]], None]
+
+Outcome = Union[JobResult, JobFailure]
+
+
+class CampaignError(RuntimeError):
+    """Raised by :meth:`CampaignOutcome.raise_on_failure` when jobs failed."""
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Accounting for one :meth:`CampaignRunner.run` call."""
+
+    total: int                 # specs submitted
+    cache_hits: int            # served straight from the persistent cache
+    executed: int              # simulator invocations actually performed
+    deduplicated: int          # jobs answered by another job of the same run
+    failed: int
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        """One-line summary for logs and the CLI."""
+        return (f"{self.total} job(s): {self.cache_hits} cached, "
+                f"{self.executed} simulated, {self.deduplicated} deduplicated, "
+                f"{self.failed} failed in {self.elapsed_seconds:.2f}s")
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one campaign run produced, in submission order."""
+
+    name: str
+    specs: List[JobSpec]
+    results: List[Outcome]
+    stats: RunStats
+
+    @property
+    def ok(self) -> bool:
+        return self.stats.failed == 0
+
+    def failures(self) -> List[JobFailure]:
+        """The failed jobs (empty when everything succeeded)."""
+        return [r for r in self.results if isinstance(r, JobFailure)]
+
+    def raise_on_failure(self) -> "CampaignOutcome":
+        """Raise :class:`CampaignError` (with tracebacks) if any job failed."""
+        failures = self.failures()
+        if failures:
+            detail = "\n\n".join(f.summary() + "\n" + f.traceback for f in failures)
+            raise CampaignError(
+                f"campaign {self.name!r}: {len(failures)} of "
+                f"{self.stats.total} job(s) failed\n{detail}"
+            )
+        return self
+
+    def job_results(self) -> List[JobResult]:
+        """The results, asserting the campaign fully succeeded first."""
+        self.raise_on_failure()
+        return list(self.results)
+
+
+class CampaignRunner:
+    """Runs campaigns with a result cache and an optional process pool.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrent simulations.  ``1`` (the default) executes
+        in-process -- fully deterministic, no pickling round trip.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable persistence (every
+        point is simulated fresh; in-run deduplication still applies).
+    mp_context:
+        Multiprocessing context for the pool; defaults to ``fork`` where
+        available (workers inherit the imported simulator for free).
+    """
+
+    def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None,
+                 mp_context=None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def run(self, campaign: Union[Campaign, Iterable[JobSpec]],
+            progress: Optional[ProgressCallback] = None) -> CampaignOutcome:
+        """Execute every spec; see the module docstring for the pipeline."""
+        if not isinstance(campaign, Campaign):
+            campaign = Campaign(name="adhoc", specs=list(campaign))
+        specs = list(campaign.specs)
+        total = len(specs)
+        started = time.perf_counter()
+        results: List[Optional[Outcome]] = [None] * total
+
+        # 1. cache resolution, in submission order.
+        cache_hits = 0
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = (self.cache.get(spec)
+                      if self.cache is not None and not spec.collect_trace else None)
+            if cached is not None:
+                results[index] = cached
+                cache_hits += 1
+                if progress is not None:
+                    progress(index, total, spec, cached)
+            else:
+                pending.append(index)
+
+        # 2. dedup: one execution per distinct point.  Traced jobs dedup
+        # separately from untraced ones (their outcomes carry event logs).
+        groups: Dict[Tuple[str, bool, int], List[int]] = {}
+        for index in pending:
+            spec = specs[index]
+            key = (spec.content_hash(), spec.collect_trace, spec.max_trace_events)
+            groups.setdefault(key, []).append(index)
+        group_indices = list(groups.values())
+
+        # 3. execute each group's first spec, fan the outcome back out.  Note
+        # that traced jobs DO write their summaries back (the journal stores
+        # to_dict(), which drops the event log) -- they only skip cache reads.
+        def finish(indices: Sequence[int], outcome: Outcome) -> None:
+            if isinstance(outcome, JobResult) and self.cache is not None:
+                self.cache.put(specs[indices[0]], outcome)
+            for index in indices:
+                results[index] = outcome
+                if progress is not None:
+                    progress(index, total, specs[index], outcome)
+
+        if self.workers <= 1 or len(group_indices) <= 1:
+            for indices in group_indices:
+                finish(indices, execute_job(specs[indices[0]]))
+        else:
+            self._run_pool(specs, group_indices, finish)
+
+        final: List[Outcome] = [r for r in results if r is not None]
+        assert len(final) == total, "every submitted job must produce an outcome"
+        executed = len(group_indices)
+        failed = sum(1 for r in final if isinstance(r, JobFailure))
+        stats = RunStats(
+            total=total,
+            cache_hits=cache_hits,
+            executed=executed,
+            deduplicated=len(pending) - executed,
+            failed=failed,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return CampaignOutcome(name=campaign.name, specs=specs,
+                               results=final, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, specs: Sequence[JobSpec],
+                  group_indices: Sequence[Sequence[int]],
+                  finish: Callable[[Sequence[int], Outcome], None]) -> None:
+        """Fan distinct points out across a process pool."""
+        context = self._mp_context
+        if context is None:
+            # fork is only safe where it is the platform default (Linux);
+            # macOS lists it but forking past Objective-C/numpy state aborts.
+            prefer_fork = (sys.platform.startswith("linux")
+                           and "fork" in multiprocessing.get_all_start_methods())
+            context = multiprocessing.get_context("fork" if prefer_fork else None)
+        max_workers = min(self.workers, len(group_indices))
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 mp_context=context) as pool:
+            futures = {
+                pool.submit(execute_job, specs[indices[0]]): indices
+                for indices in group_indices
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    indices = futures[future]
+                    try:
+                        outcome: Outcome = future.result()
+                    except Exception as error:  # pool/pickling breakage
+                        outcome = JobFailure(
+                            job_hash=specs[indices[0]].content_hash(),
+                            label=specs[indices[0]].display_name(),
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    finish(indices, outcome)

@@ -1,0 +1,74 @@
+"""Job execution: the function that runs inside worker processes.
+
+:func:`execute_job` is a module-level function (so it pickles by reference
+under every multiprocessing start method); it rebuilds the problem's input
+data deterministically from the spec's ``(problem, scale, seed, size)``
+tuple, simulates the launch, and returns either a
+:class:`~repro.campaign.result.JobResult` or a
+:class:`~repro.campaign.result.JobFailure` -- it never raises, so one bad job
+cannot take the pool (or the campaign) down with it.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Union
+
+from repro.campaign.result import JobFailure, JobResult
+from repro.campaign.spec import JobSpec
+
+
+def run_spec(spec: JobSpec) -> JobResult:
+    """Simulate one spec and summarise the launch (raises on error)."""
+    # Imports are local so a worker process only pays for what it runs.
+    from repro.runtime.device import Device
+    from repro.runtime.launcher import launch_kernel
+    from repro.trace.tracer import Tracer
+    from repro.workloads.problems import make_problem
+
+    problem = make_problem(spec.problem, scale=spec.scale, seed=spec.seed,
+                           size=spec.size)
+    tracer = Tracer(max_events=spec.max_trace_events) if spec.collect_trace else None
+    device = Device(spec.config, tracer=tracer)
+    started = time.perf_counter()
+    launch = launch_kernel(
+        device, problem.kernel, problem.arguments, problem.global_size,
+        local_size=spec.local_size,
+        call_simulation_limit=spec.call_simulation_limit,
+        max_cycles_per_call=spec.max_cycles_per_call,
+    )
+    elapsed = time.perf_counter() - started
+    return JobResult(
+        job_hash=spec.content_hash(),
+        problem=problem.name,
+        category=problem.category,
+        config_name=spec.config.name,
+        hardware_parallelism=spec.config.hardware_parallelism,
+        global_size=launch.global_size,
+        local_size=launch.local_size,
+        num_workgroups=launch.num_workgroups,
+        num_calls=launch.num_calls,
+        cycles=launch.cycles,
+        sim_cycles=launch.sim_cycles,
+        overhead_cycles=launch.overhead_cycles,
+        extrapolated=launch.extrapolated,
+        lane_utilization=(launch.dispatch.average_lane_utilization
+                          if launch.dispatch else 0.0),
+        counters=launch.counters.as_dict(),
+        elapsed_seconds=elapsed,
+        events=tuple(tracer.events) if tracer is not None else None,
+    )
+
+
+def execute_job(spec: JobSpec) -> Union[JobResult, JobFailure]:
+    """Run one spec, converting any exception into a :class:`JobFailure`."""
+    try:
+        return run_spec(spec)
+    except Exception as error:  # noqa: BLE001 - isolation is the contract
+        return JobFailure(
+            job_hash=spec.content_hash(),
+            label=spec.display_name(),
+            error=f"{type(error).__name__}: {error}",
+            traceback=traceback.format_exc(),
+        )

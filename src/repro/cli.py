@@ -7,11 +7,17 @@ Exposes the library's main workflows without writing Python::
     python -m repro figure1
     python -m repro sweep   --kernels vecadd,sgemm --sweep smoke --scale bench -o sweep.json
     python -m repro report  sweep.json
+    python -m repro campaign run --kernels vecadd --sweep smoke --workers 4
+    python -m repro campaign status
+    python -m repro campaign clear-cache
 
 ``info`` answers the runtime question the paper poses (what lws should this
 launch use on this machine), ``run`` executes a single workload under a chosen
 or runtime-selected mapping, ``figure1``/``sweep``/``report`` drive the paper's
-experiments and render their tables.
+experiments and render their tables, and ``campaign`` runs the same sweeps
+through the campaign engine: parallel workers plus a persistent,
+content-addressed result cache (``~/.cache/repro`` by default, overridden by
+the ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``).
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.campaign.cache import CACHE_DIR_ENV, ResultCache
+from repro.campaign.runner import CampaignRunner
 from repro.core.advisor import TuningAdvisor
 from repro.core.optimizer import optimal_local_size
 from repro.experiments.claims import evaluate_claims
@@ -66,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated workload names")
     sweep.add_argument("--sweep", default="smoke", choices=("smoke", "bench", "paper"))
     sweep.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="single RNG seed threaded into every grid point")
     sweep.add_argument("--exact-calls", action="store_true",
                        help="simulate every sequential kernel call (no extrapolation)")
     sweep.add_argument("-o", "--output", default=None, help="write raw records to a JSON file")
@@ -73,6 +83,51 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="render the Figure-2 table from a saved sweep")
     report.add_argument("input", help="JSON file produced by 'repro sweep -o'")
     report.add_argument("--claims", action="store_true", help="also evaluate the Section-3 claims")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel sweeps with a persistent, content-addressed result cache",
+        description="Run experiment grids through the campaign engine: each "
+                    "(kernel, machine, lws, seed) point is hashed, served from "
+                    "the cache when already simulated, and fresh points fan "
+                    "out across worker processes.",
+        epilog=f"The cache lives in ~/.cache/repro by default; override it "
+               f"with the {CACHE_DIR_ENV} environment variable or --cache-dir. "
+               f"Cached results are invalidated automatically when the "
+               f"simulator version changes.",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    crun = campaign_sub.add_parser("run", help="run a Figure-2 style sweep as a campaign")
+    crun.add_argument("--kernels", default="vecadd,relu,saxpy,sgemm,knn",
+                      help="comma-separated workload names")
+    crun.add_argument("--sweep", default="smoke", choices=("smoke", "bench", "paper"))
+    crun.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
+    crun.add_argument("--seed", type=int, default=0,
+                      help="single RNG seed threaded into every job spec")
+    crun.add_argument("--workers", type=int, default=1,
+                      help="worker processes for fresh points (default 1)")
+    crun.add_argument("--exact-calls", action="store_true",
+                      help="simulate every sequential kernel call (no extrapolation)")
+    crun.add_argument("--cache-dir", default=None,
+                      help=f"cache directory (default: $"
+                           f"{CACHE_DIR_ENV} or ~/.cache/repro)")
+    crun.add_argument("--no-cache", action="store_true",
+                      help="simulate every point fresh, persist nothing")
+    crun.add_argument("--claims", action="store_true",
+                      help="also evaluate the Section-3 claims")
+    crun.add_argument("-o", "--output", default=None,
+                      help="write raw records to a JSON file")
+
+    cstatus = campaign_sub.add_parser("status", help="show the result-cache state")
+    cstatus.add_argument("--cache-dir", default=None,
+                         help=f"cache directory (default: $"
+                              f"{CACHE_DIR_ENV} or ~/.cache/repro)")
+
+    cclear = campaign_sub.add_parser("clear-cache", help="delete the persistent result cache")
+    cclear.add_argument("--cache-dir", default=None,
+                        help=f"cache directory (default: $"
+                             f"{CACHE_DIR_ENV} or ~/.cache/repro)")
     return parser
 
 
@@ -123,17 +178,31 @@ def _cmd_figure1(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
+def _run_and_render_sweep(args, runner=None, claims: bool = False) -> "Figure2Result":
+    """Shared body of ``sweep`` and ``campaign run``: execute, print, save."""
     kernels = [name.strip() for name in args.kernels.split(",") if name.strip()]
     configs = sweep_by_name(args.sweep)
     limit = None if args.exact_calls else 3
-    result = run_figure2(kernels, configs, scale=args.scale, call_simulation_limit=limit)
+    result = run_figure2(kernels, configs, scale=args.scale, seed=args.seed,
+                         call_simulation_limit=limit, runner=runner)
     print(render_figure2_table(result))
     print()
     print(render_speedup_summary(result))
-    if args.output:
-        result.save_json(args.output)
-        print(f"\nraw records written to {args.output}")
+    if claims:
+        print()
+        print(evaluate_claims(result).render())
+    return result
+
+
+def _save_sweep_output(result: "Figure2Result", output: Optional[str]) -> None:
+    if output:
+        result.save_json(output)
+        print(f"\nraw records written to {output}")
+
+
+def _cmd_sweep(args) -> int:
+    result = _run_and_render_sweep(args)
+    _save_sweep_output(result, args.output)
     return 0
 
 
@@ -148,12 +217,38 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    if args.campaign_command == "status":
+        cache = ResultCache(args.cache_dir)
+        print(cache.stats().render())
+        return 0
+    if args.campaign_command == "clear-cache":
+        cache = ResultCache(args.cache_dir)
+        path = cache.directory
+        dropped = cache.clear()
+        print(f"cleared {dropped} cached result(s) from {path}")
+        return 0
+
+    # campaign run
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = CampaignRunner(workers=args.workers, cache=cache)
+    result = _run_and_render_sweep(args, runner=runner, claims=args.claims)
+    if cache is not None:
+        stats = cache.stats()
+        print()
+        print(f"cache {stats.path}: {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.entries} entries")
+    _save_sweep_output(result, args.output)
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
     "figure1": _cmd_figure1,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -23,9 +23,14 @@ from repro.experiments.configs import (
     sweep_by_name,
 )
 from repro.experiments.figure1 import Figure1Result, run_figure1
-from repro.experiments.figure2 import Figure2Result, SweepRecord, run_figure2
+from repro.experiments.figure2 import (
+    Figure2Result,
+    SweepRecord,
+    build_figure2_campaign,
+    run_figure2,
+)
 from repro.experiments.stats import RatioStats, ratio_stats
-from repro.experiments.claims import ClaimResults, evaluate_claims
+from repro.experiments.claims import ClaimResults, evaluate_claims, run_claims
 from repro.experiments.ablation import (
     BoundednessRecord,
     OverheadSensitivityRecord,
@@ -45,11 +50,13 @@ __all__ = [
     "SweepRecord",
     "bench_sweep",
     "boundedness_study",
+    "build_figure2_campaign",
     "evaluate_claims",
     "overhead_sensitivity",
     "paper_sweep",
     "ratio_stats",
     "render_figure2_table",
+    "run_claims",
     "render_markdown_report",
     "run_figure1",
     "run_figure2",

@@ -7,6 +7,9 @@
   compute-bound on a reference machine, reproducing the annotation above the
   paper's Figure 2 and explaining why the memory-bound kernels benefit less
   from extra parallelism.
+
+Both studies submit their grids through the campaign engine; pass a
+:class:`~repro.campaign.runner.CampaignRunner` to parallelise or cache them.
 """
 
 from __future__ import annotations
@@ -14,9 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import Campaign, JobSpec
 from repro.core.mapper import HardwareAwareMapping, NaiveMapping
-from repro.runtime.device import Device
-from repro.runtime.launcher import launch_kernel
 from repro.sim.config import ArchConfig
 from repro.trace.analysis import classify_boundedness
 from repro.workloads.problems import make_problem
@@ -43,27 +46,35 @@ def overhead_sensitivity(problem_name: str = "vecadd", scale: str = "bench",
                          config: Optional[ArchConfig] = None,
                          overheads: Sequence[int] = DEFAULT_OVERHEADS,
                          call_simulation_limit: Optional[int] = 3,
-                         seed: int = 0) -> List[OverheadSensitivityRecord]:
+                         seed: int = 0,
+                         runner: Optional[CampaignRunner] = None
+                         ) -> List[OverheadSensitivityRecord]:
     """Sweep the kernel-launch overhead and measure the naive-vs-ours ratio."""
     base_config = config if config is not None else ArchConfig(cores=4, warps_per_core=4,
                                                                threads_per_warp=8)
+    runner = runner if runner is not None else CampaignRunner()
     problem = make_problem(problem_name, scale=scale, seed=seed)
     naive = NaiveMapping()
     ours = HardwareAwareMapping()
-    records: List[OverheadSensitivityRecord] = []
+    campaign = Campaign(name="ablation-overhead")
     for overhead in overheads:
         config_o = replace(base_config, kernel_launch_overhead=overhead)
-        device = Device(config_o)
-        naive_cycles = launch_kernel(
-            device, problem.kernel, problem.arguments, problem.global_size,
-            local_size=naive.select_local_size(problem.global_size, config_o),
-            call_simulation_limit=call_simulation_limit).cycles
-        ours_cycles = launch_kernel(
-            device, problem.kernel, problem.arguments, problem.global_size,
-            local_size=ours.select_local_size(problem.global_size, config_o),
-            call_simulation_limit=call_simulation_limit).cycles
+        for strategy in (naive, ours):
+            campaign.add(JobSpec(
+                problem=problem_name,
+                config=config_o,
+                scale=scale,
+                seed=seed,
+                local_size=strategy.select_local_size(problem.global_size, config_o),
+                call_simulation_limit=call_simulation_limit,
+                label=f"{problem_name}/overhead={overhead}/{strategy.name}",
+            ))
+    jobs = runner.run(campaign).job_results()
+    records: List[OverheadSensitivityRecord] = []
+    for overhead, (naive_job, ours_job) in zip(overheads, zip(jobs[::2], jobs[1::2])):
         records.append(OverheadSensitivityRecord(
-            launch_overhead=overhead, naive_cycles=naive_cycles, ours_cycles=ours_cycles))
+            launch_overhead=overhead, naive_cycles=naive_job.cycles,
+            ours_cycles=ours_job.cycles))
     return records
 
 
@@ -81,23 +92,27 @@ class BoundednessRecord:
 
 def boundedness_study(problem_names: Sequence[str], scale: str = "bench",
                       config: Optional[ArchConfig] = None,
-                      seed: int = 0) -> List[BoundednessRecord]:
+                      seed: int = 0,
+                      runner: Optional[CampaignRunner] = None
+                      ) -> List[BoundednessRecord]:
     """Classify each workload as memory- or compute-bound on a reference machine."""
     reference = config if config is not None else ArchConfig(cores=2, warps_per_core=4,
                                                              threads_per_warp=8)
-    records: List[BoundednessRecord] = []
+    runner = runner if runner is not None else CampaignRunner()
+    campaign = Campaign(name="ablation-boundedness")
     for name in problem_names:
-        problem = make_problem(name, scale=scale, seed=seed)
-        device = Device(reference)
-        result = launch_kernel(device, problem.kernel, problem.arguments, problem.global_size,
-                               local_size=None)
-        counters = result.counters
+        # lws=None -> the runtime Eq.-1 mapping, exactly like Device.launch.
+        campaign.add(JobSpec(problem=name, config=reference, scale=scale,
+                             seed=seed, label=f"boundedness/{name}"))
+    records: List[BoundednessRecord] = []
+    for job in runner.run(campaign).job_results():
+        counters = job.perf_counters()
         records.append(BoundednessRecord(
-            problem=problem.name,
-            category=problem.category,
+            problem=job.problem,
+            category=job.category,
             boundedness=classify_boundedness(counters),
             memory_intensity=counters.memory_intensity,
             l1_hit_rate=counters.l1_hit_rate,
-            cycles=result.cycles,
+            cycles=job.cycles,
         ))
     return records

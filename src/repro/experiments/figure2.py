@@ -7,18 +7,25 @@ are compared as ratios ``baseline / ours``.  The per-kernel distributions of
 those ratios (over all configurations) are the violins of the paper's
 Figure 2; their summary statistics (average, worst, %-worse) are the numbers
 printed in its data tables.
+
+The sweep grid is submitted through the campaign engine
+(:mod:`repro.campaign`): pass a :class:`~repro.campaign.runner.CampaignRunner`
+with a cache and/or multiple workers to reuse previously simulated points and
+fan fresh ones out across processes.  Each grid point resolves its mapping
+strategy to a concrete lws *before* submission, so the job's content hash
+names exactly what is simulated -- two strategies that pick the same lws on
+some machine share one simulation.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import Campaign, JobSpec
 from repro.core.mapper import MappingStrategy, PAPER_STRATEGIES
 from repro.experiments.stats import RatioStats, ratio_stats
-from repro.runtime.device import Device
-from repro.runtime.launcher import launch_kernel
 from repro.sim.config import ArchConfig
 from repro.workloads.problems import Problem, make_problem
 
@@ -194,13 +201,49 @@ class Figure2Result:
 
 
 # ----------------------------------------------------------------------
+def build_figure2_campaign(problem_names: Sequence[str],
+                           configs: Sequence[ArchConfig],
+                           scale: str = "bench",
+                           strategies: Optional[Mapping[str, MappingStrategy]] = None,
+                           call_simulation_limit: Optional[int] = DEFAULT_CALL_SIMULATION_LIMIT,
+                           seed: int = 0) -> Tuple[Campaign, List[Tuple[Problem, str]]]:
+    """Build the sweep grid as a campaign.
+
+    Returns the campaign plus, per submitted job, the ``(problem, label)``
+    pair it measures -- strategies are resolved to concrete lws values here,
+    so the specs are pure content-addressed simulation points.
+    """
+    chosen = dict(strategies) if strategies is not None else dict(PAPER_STRATEGIES)
+    if OURS not in chosen:
+        raise ValueError(f"strategies must include the {OURS!r} mapping")
+    campaign = Campaign(name="figure2")
+    jobs: List[Tuple[Problem, str]] = []
+    for problem_name in problem_names:
+        problem = make_problem(problem_name, scale=scale, seed=seed)
+        for config in configs:
+            for label, strategy in chosen.items():
+                lws = strategy.select_local_size(problem.global_size, config)
+                campaign.add(JobSpec(
+                    problem=problem_name,
+                    config=config,
+                    scale=scale,
+                    seed=seed,
+                    local_size=lws,
+                    call_simulation_limit=call_simulation_limit,
+                    label=f"{problem_name}/{config.name}/{label}",
+                ))
+                jobs.append((problem, label))
+    return campaign, jobs
+
+
 def run_figure2(problem_names: Sequence[str], configs: Sequence[ArchConfig],
                 scale: str = "bench",
                 strategies: Optional[Mapping[str, MappingStrategy]] = None,
                 call_simulation_limit: Optional[int] = DEFAULT_CALL_SIMULATION_LIMIT,
                 seed: int = 0,
-                progress: Optional[callable] = None) -> Figure2Result:
-    """Execute the Figure-2 sweep.
+                progress: Optional[callable] = None,
+                runner: Optional[CampaignRunner] = None) -> Figure2Result:
+    """Execute the Figure-2 sweep through the campaign engine.
 
     Parameters
     ----------
@@ -214,41 +257,46 @@ def run_figure2(problem_names: Sequence[str], configs: Sequence[ArchConfig],
         Mapping strategies keyed by report label; defaults to the paper's three.
     call_simulation_limit:
         Passed to the launcher; ``None`` simulates every kernel call exactly.
+    seed:
+        Single RNG seed threaded into every job spec; the input data of every
+        grid point is a pure function of ``(problem, scale, seed)``, so cached
+        and fresh runs of the same grid are bit-identical.
     progress:
         Optional callback ``progress(problem, config, strategy, cycles)`` invoked
         after every measurement (used for logging in long sweeps).
+    runner:
+        The campaign runner to submit through; defaults to a serial runner
+        without a cache (hermetic).  Pass ``CampaignRunner(workers=N,
+        cache=ResultCache())`` for parallel, cache-served sweeps.
     """
-    chosen = dict(strategies) if strategies is not None else dict(PAPER_STRATEGIES)
-    if OURS not in chosen:
-        raise ValueError(f"strategies must include the {OURS!r} mapping")
+    campaign, jobs = build_figure2_campaign(
+        problem_names, configs, scale=scale, strategies=strategies,
+        call_simulation_limit=call_simulation_limit, seed=seed)
+    runner = runner if runner is not None else CampaignRunner()
+
+    campaign_progress = None
+    if progress is not None:
+        def campaign_progress(index, total, spec, outcome):
+            if outcome.ok:
+                problem, label = jobs[index]
+                progress(problem.name, spec.config.name, label, outcome.cycles)
+
+    outcome = runner.run(campaign, progress=campaign_progress)
+    outcome.raise_on_failure()
+
     result = Figure2Result()
-    for problem_name in problem_names:
-        problem = make_problem(problem_name, scale=scale, seed=seed)
-        for config in configs:
-            device = Device(config)
-            for label, strategy in chosen.items():
-                lws = strategy.select_local_size(problem.global_size, config)
-                started = time.perf_counter()
-                launch = launch_kernel(
-                    device, problem.kernel, problem.arguments, problem.global_size,
-                    local_size=lws, call_simulation_limit=call_simulation_limit,
-                )
-                elapsed = time.perf_counter() - started
-                record = SweepRecord(
-                    problem=problem.name,
-                    category=problem.category,
-                    config_name=config.name,
-                    hardware_parallelism=config.hardware_parallelism,
-                    strategy=label,
-                    local_size=launch.local_size,
-                    global_size=launch.global_size,
-                    num_calls=launch.num_calls,
-                    cycles=launch.cycles,
-                    lane_utilization=(launch.dispatch.average_lane_utilization
-                                      if launch.dispatch else 0.0),
-                    elapsed_seconds=elapsed,
-                )
-                result.records.append(record)
-                if progress is not None:
-                    progress(problem.name, config.name, label, launch.cycles)
+    for (problem, label), job in zip(jobs, outcome.results):
+        result.records.append(SweepRecord(
+            problem=problem.name,
+            category=problem.category,
+            config_name=job.config_name,
+            hardware_parallelism=job.hardware_parallelism,
+            strategy=label,
+            local_size=job.local_size,
+            global_size=job.global_size,
+            num_calls=job.num_calls,
+            cycles=job.cycles,
+            lane_utilization=job.lane_utilization,
+            elapsed_seconds=job.elapsed_seconds,
+        ))
     return result

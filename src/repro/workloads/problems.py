@@ -94,8 +94,8 @@ def _require_scale(scale: Scale) -> None:
 _ELEMENTWISE_SIZES = {"paper": 4096, "bench": 512, "smoke": 64}
 
 
-def _vecadd(scale: Scale, seed: int) -> Problem:
-    n = _ELEMENTWISE_SIZES[scale]
+def _vecadd(scale: Scale, seed: int, size: Optional[int] = None) -> Problem:
+    n = size if size is not None else _ELEMENTWISE_SIZES[scale]
     a = random_vector(n, seed=seed)
     b = random_vector(n, seed=seed + 1)
     return Problem(
@@ -108,8 +108,8 @@ def _vecadd(scale: Scale, seed: int) -> Problem:
     )
 
 
-def _relu(scale: Scale, seed: int) -> Problem:
-    n = _ELEMENTWISE_SIZES[scale]
+def _relu(scale: Scale, seed: int, size: Optional[int] = None) -> Problem:
+    n = size if size is not None else _ELEMENTWISE_SIZES[scale]
     x = random_vector(n, seed=seed)
     return Problem(
         name="relu", kernel=RELU,
@@ -121,8 +121,8 @@ def _relu(scale: Scale, seed: int) -> Problem:
     )
 
 
-def _saxpy(scale: Scale, seed: int) -> Problem:
-    n = _ELEMENTWISE_SIZES[scale]
+def _saxpy(scale: Scale, seed: int, size: Optional[int] = None) -> Problem:
+    n = size if size is not None else _ELEMENTWISE_SIZES[scale]
     a = 2.5
     x = random_vector(n, seed=seed)
     y = random_vector(n, seed=seed + 1)
@@ -162,8 +162,8 @@ def _sgemm(scale: Scale, seed: int) -> Problem:
 _KNN_SIZES = {"paper": 42764, "bench": 2048, "smoke": 128}
 
 
-def _knn(scale: Scale, seed: int) -> Problem:
-    count = _KNN_SIZES[scale]
+def _knn(scale: Scale, seed: int, size: Optional[int] = None) -> Problem:
+    count = size if size is not None else _KNN_SIZES[scale]
     lat, lng = random_points(count, seed=seed)
     lat_q, lng_q = 30.0, -120.0
     return Problem(
@@ -321,7 +321,7 @@ def _conv2d(scale: Scale, seed: int) -> Problem:
 
 
 # ----------------------------------------------------------------------
-_FACTORIES: Dict[str, Callable[[Scale, int], Problem]] = {
+_FACTORIES: Dict[str, Callable[..., Problem]] = {
     "vecadd": _vecadd,
     "relu": _relu,
     "saxpy": _saxpy,
@@ -333,14 +333,25 @@ _FACTORIES: Dict[str, Callable[[Scale, int], Problem]] = {
     "conv2d": _conv2d,
 }
 
+#: Problems whose flattened size can be overridden via ``make_problem(size=...)``
+#: (the one-dimensional workloads; structured problems derive their geometry
+#: from the scale alone).
+SIZEABLE_PROBLEMS = ("vecadd", "relu", "saxpy", "knn")
+
 
 def available_problems() -> List[str]:
     """Names of every problem factory."""
     return sorted(_FACTORIES)
 
 
-def make_problem(name: str, scale: Scale = "bench", seed: int = 0) -> Problem:
-    """Instantiate problem ``name`` at ``scale`` with deterministic data."""
+def make_problem(name: str, scale: Scale = "bench", seed: int = 0,
+                 size: Optional[int] = None) -> Problem:
+    """Instantiate problem ``name`` at ``scale`` with deterministic data.
+
+    ``size`` overrides the scale's flattened global work size for the
+    one-dimensional workloads (:data:`SIZEABLE_PROBLEMS`); structured problems
+    (matrices, images, graphs) reject it.
+    """
     _require_scale(scale)
     try:
         factory = _FACTORIES[name]
@@ -348,4 +359,13 @@ def make_problem(name: str, scale: Scale = "bench", seed: int = 0) -> Problem:
         raise UnknownProblemError(
             f"unknown problem {name!r}; available: {', '.join(available_problems())}"
         ) from None
-    return factory(scale, seed)
+    if size is None:
+        return factory(scale, seed)
+    if name not in SIZEABLE_PROBLEMS:
+        raise UnknownProblemError(
+            f"problem {name!r} does not support a size override; "
+            f"sizeable problems: {', '.join(SIZEABLE_PROBLEMS)}"
+        )
+    if size < 1:
+        raise UnknownProblemError(f"size override must be positive, got {size}")
+    return factory(scale, seed, size=size)

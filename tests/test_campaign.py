@@ -1,0 +1,316 @@
+"""Tests for the campaign engine (repro.campaign).
+
+Covers the acceptance properties of the subsystem: content hashes that are
+stable across process restarts, cache hit/miss accounting with
+version-bump invalidation, per-job failure isolation, deterministic result
+ordering, and bit-identical serial vs. parallel (and cold vs. cache-served)
+experiment results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+import repro
+from repro.campaign import (
+    CACHE_SCHEMA_VERSION,
+    Campaign,
+    CampaignError,
+    CampaignRunner,
+    JobFailure,
+    JobResult,
+    JobSpec,
+    ResultCache,
+    config_from_dict,
+    config_to_dict,
+    execute_job,
+)
+from repro.campaign.cache import CACHE_DIR_ENV, default_cache_dir
+from repro.experiments.figure2 import run_figure2
+from repro.isa.latencies import FunctionalUnit, OpTiming
+from repro.isa.opcodes import Opcode
+from repro.sim.config import ArchConfig
+from repro.workloads.problems import UnknownProblemError, make_problem
+
+CONFIG = ArchConfig.from_name("2c2w4t")
+
+
+def spec(**overrides) -> JobSpec:
+    defaults = dict(problem="vecadd", config=CONFIG, scale="smoke", seed=0)
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+# ----------------------------------------------------------------------
+# specs and hashing
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_hash_is_stable_across_process_restarts(self):
+        code = (
+            "from repro.campaign import JobSpec\n"
+            "from repro.sim.config import ArchConfig\n"
+            "s = JobSpec(problem='vecadd', config=ArchConfig.from_name('2c2w4t'),\n"
+            "            scale='smoke', seed=0)\n"
+            "print(s.content_hash())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            ["src"] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        env["PYTHONHASHSEED"] = "12345"   # builtin-hash randomisation must not matter
+        fresh = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env=env, cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert fresh.returncode == 0, fresh.stderr
+        assert fresh.stdout.strip() == spec().content_hash()
+
+    def test_hash_ignores_presentation_fields(self):
+        base = spec()
+        assert spec(label="other").content_hash() == base.content_hash()
+        assert spec(collect_trace=True).content_hash() == base.content_hash()
+
+    def test_hash_distinguishes_simulation_inputs(self):
+        base = spec()
+        assert spec(seed=1).content_hash() != base.content_hash()
+        assert spec(local_size=8).content_hash() != base.content_hash()
+        assert spec(problem="relu").content_hash() != base.content_hash()
+        assert spec(size=96).content_hash() != base.content_hash()
+        assert spec(call_simulation_limit=3).content_hash() != base.content_hash()
+        bigger = ArchConfig.from_name("4c2w4t")
+        assert spec(config=bigger).content_hash() != base.content_hash()
+        slower = replace(CONFIG, kernel_launch_overhead=512)
+        assert spec(config=slower).content_hash() != base.content_hash()
+
+    def test_hash_depends_on_simulator_version(self, monkeypatch):
+        before = spec().content_hash()
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert spec().content_hash() != before
+
+    def test_spec_round_trips_through_dict(self):
+        original = spec(local_size=4, call_simulation_limit=3, label="x",
+                        size=64, collect_trace=True)
+        restored = JobSpec.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert restored == original
+        assert restored.content_hash() == original.content_hash()
+
+    def test_config_round_trip_includes_timing_overrides(self):
+        config = replace(
+            CONFIG, warp_scheduler="gto", dram_latency=250,
+            timing_overrides={Opcode.FADD: OpTiming(FunctionalUnit.FPU, 7, 2)})
+        restored = config_from_dict(json.loads(json.dumps(config_to_dict(config))))
+        assert restored == config
+
+    def test_campaign_counts_distinct_points(self):
+        campaign = Campaign("dup")
+        campaign.add(spec(local_size=1))
+        campaign.add(spec(local_size=1, label="again"))
+        campaign.add(spec(local_size=8))
+        assert len(campaign) == 3
+        assert len(campaign.unique_hashes()) == 2
+        assert "3 job(s), 2 distinct" in campaign.summary()
+
+
+# ----------------------------------------------------------------------
+# the persistent cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_miss_then_hit_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec(local_size=4)
+        assert cache.get(job) is None
+        result = execute_job(job)
+        cache.put(job, result)
+        served = cache.get(job)
+        assert served is not None
+        assert served.cycles == result.cycles
+        assert served.from_cache and not result.from_cache
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_persists_across_instances(self, tmp_path):
+        job = spec(local_size=4)
+        first = ResultCache(tmp_path)
+        first.put(job, execute_job(job))
+        second = ResultCache(tmp_path)
+        assert len(second) == 1
+        assert job in second
+        assert second.get(job).cycles == first.get(job).cycles
+
+    def test_version_bump_invalidates_entries(self, tmp_path, monkeypatch):
+        job = spec(local_size=4)
+        ResultCache(tmp_path).put(job, execute_job(job))
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        assert cache.stats().stale_entries == 1
+        assert cache.get(job) is None      # the hash moved with the version too
+
+    def test_corrupt_journal_lines_are_skipped(self, tmp_path):
+        job = spec(local_size=4)
+        cache = ResultCache(tmp_path)
+        cache.put(job, execute_job(job))
+        with cache.journal_path.open("a") as journal:
+            journal.write("{not json\n")
+        reloaded = ResultCache(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.stats().stale_entries == 1
+
+    def test_clear_removes_the_journal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec(local_size=4)
+        cache.put(job, execute_job(job))
+        assert cache.clear() == 1
+        assert not cache.journal_path.exists()
+        assert ResultCache(tmp_path).get(job) is None
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert ResultCache().directory == tmp_path / "elsewhere"
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class TestCampaignRunner:
+    def grid(self):
+        campaign = Campaign("grid")
+        for lws in (1, 2, 4, 8):
+            campaign.add(spec(local_size=lws))
+        return campaign
+
+    def test_rejects_nonpositive_worker_counts(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(workers=0)
+
+    def test_results_keep_submission_order(self):
+        outcome = CampaignRunner().run(self.grid())
+        assert [r.local_size for r in outcome.results] == [1, 2, 4, 8]
+        assert outcome.ok
+        assert outcome.stats.executed == 4
+
+    @staticmethod
+    def measured(outcome):
+        """Result dictionaries minus wall-clock noise (elapsed_seconds)."""
+        rows = [r.to_dict() for r in outcome.results]
+        for row in rows:
+            row.pop("elapsed_seconds")
+        return rows
+
+    def test_serial_and_parallel_results_are_identical(self):
+        serial = CampaignRunner(workers=1).run(self.grid())
+        parallel = CampaignRunner(workers=4).run(self.grid())
+        assert self.measured(serial) == self.measured(parallel)
+
+    def test_duplicate_points_are_simulated_once(self):
+        campaign = Campaign("dups")
+        for _ in range(3):
+            campaign.add(spec(local_size=4))
+        outcome = CampaignRunner().run(campaign)
+        assert outcome.stats.executed == 1
+        assert outcome.stats.deduplicated == 2
+        assert len({r.cycles for r in outcome.results}) == 1
+
+    def test_one_bad_job_does_not_kill_the_campaign(self):
+        campaign = self.grid()
+        campaign.add(spec(problem="no_such_kernel"))
+        for workers in (1, 2):
+            outcome = CampaignRunner(workers=workers).run(campaign)
+            assert outcome.stats.failed == 1
+            failure = outcome.results[-1]
+            assert isinstance(failure, JobFailure)
+            assert "no_such_kernel" in failure.error
+            assert failure.traceback                     # captured for debugging
+            assert all(isinstance(r, JobResult) for r in outcome.results[:-1])
+            with pytest.raises(CampaignError, match="no_such_kernel"):
+                outcome.job_results()
+
+    def test_progress_fires_once_per_job(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        campaign = self.grid()
+        seen = []
+        CampaignRunner(cache=cache).run(
+            campaign, progress=lambda i, n, s, o: seen.append((i, n, o.from_cache)))
+        assert sorted(i for i, _, _ in seen) == [0, 1, 2, 3]
+        assert all(n == 4 for _, n, _ in seen)
+        assert not any(hit for _, _, hit in seen)
+        seen.clear()
+        CampaignRunner(cache=cache).run(
+            campaign, progress=lambda i, n, s, o: seen.append((i, n, o.from_cache)))
+        assert all(hit for _, _, hit in seen)
+
+    def test_warm_cache_serves_everything(self, tmp_path):
+        campaign = self.grid()
+        cold = CampaignRunner(cache=ResultCache(tmp_path)).run(campaign)
+        warm = CampaignRunner(cache=ResultCache(tmp_path)).run(campaign)
+        assert cold.stats.executed == 4
+        assert warm.stats.executed == 0                  # zero simulator invocations
+        assert warm.stats.cache_hits == 4
+        assert [r.cycles for r in warm.results] == [r.cycles for r in cold.results]
+
+    def test_traced_jobs_bypass_cache_reads_but_seed_summaries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        traced = spec(local_size=4, collect_trace=True)
+        first = CampaignRunner(cache=cache).run([traced])
+        assert first.results[0].events                   # events survive the runner
+        # the summary was written, so the untraced twin is cache-served ...
+        warm = CampaignRunner(cache=cache).run([spec(local_size=4)])
+        assert warm.stats.cache_hits == 1
+        # ... but a traced resubmission must simulate again (events aren't stored)
+        again = CampaignRunner(cache=cache).run([traced])
+        assert again.stats.executed == 1
+        assert again.results[0].events
+
+
+# ----------------------------------------------------------------------
+# experiments through the campaign engine
+# ----------------------------------------------------------------------
+class TestExperimentsThroughCampaign:
+    CONFIGS = [ArchConfig.from_name("1c2w2t"), ArchConfig.from_name("2c4w4t")]
+
+    def test_figure2_second_run_is_fully_cache_served(self, tmp_path):
+        kwargs = dict(scale="smoke", call_simulation_limit=3, seed=0)
+        cold_runner = CampaignRunner(cache=ResultCache(tmp_path))
+        cold = run_figure2(["vecadd"], self.CONFIGS, runner=cold_runner, **kwargs)
+        warm_runner = CampaignRunner(cache=ResultCache(tmp_path))
+        warm = run_figure2(["vecadd"], self.CONFIGS, runner=warm_runner, **kwargs)
+        assert warm_runner.cache.misses == 0             # every point served
+        assert [r.as_dict() for r in warm.records] == [r.as_dict() for r in cold.records]
+
+    def test_figure2_parallel_matches_serial(self):
+        kwargs = dict(scale="smoke", call_simulation_limit=3, seed=0)
+        serial = run_figure2(["vecadd", "relu"], self.CONFIGS,
+                             runner=CampaignRunner(workers=1), **kwargs)
+        parallel = run_figure2(["vecadd", "relu"], self.CONFIGS,
+                               runner=CampaignRunner(workers=4), **kwargs)
+        assert [r.as_dict() for r in serial.records] \
+            == [r.as_dict() for r in parallel.records]
+
+    def test_figure2_seed_changes_the_grid_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        kwargs = dict(scale="smoke", call_simulation_limit=3)
+        runner = CampaignRunner(cache=cache)
+        run_figure2(["vecadd"], self.CONFIGS[:1], seed=0, runner=runner, **kwargs)
+        run_figure2(["vecadd"], self.CONFIGS[:1], seed=7, runner=runner, **kwargs)
+        assert cache.hits == 0                           # different seed, no reuse
+
+
+# ----------------------------------------------------------------------
+# problem size overrides (used by figure1 job specs)
+# ----------------------------------------------------------------------
+class TestSizeOverride:
+    def test_sizeable_problems_honour_the_override(self):
+        problem = make_problem("vecadd", scale="smoke", seed=11, size=128)
+        assert problem.global_size == 128
+        assert len(problem.arguments["a"]) == 128
+
+    def test_structured_problems_reject_the_override(self):
+        with pytest.raises(UnknownProblemError, match="size override"):
+            make_problem("sgemm", scale="smoke", size=128)
+        with pytest.raises(UnknownProblemError, match="positive"):
+            make_problem("vecadd", scale="smoke", size=0)

@@ -10,7 +10,7 @@ from repro.cli import build_parser, main
 def test_parser_lists_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("info", "run", "figure1", "sweep", "report"):
+    for command in ("info", "run", "figure1", "sweep", "report", "campaign"):
         assert command in text
 
 
@@ -78,3 +78,37 @@ def test_sweep_and_report_round_trip(tmp_path, capsys):
     second = capsys.readouterr().out
     assert "lws=1/ours avg" in second
     assert "C4" in second
+
+
+def test_campaign_run_status_and_clear_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    base = ["campaign", "run", "--kernels", "vecadd", "--sweep", "smoke",
+            "--scale", "smoke", "--cache-dir", cache_dir]
+    assert main(base + ["--workers", "2", "--claims"]) == 0
+    cold = capsys.readouterr().out
+    assert "lws=1/ours avg" in cold
+    assert "C1" in cold
+    assert "0 hit(s)" in cold
+
+    # second run: fully cache-served, zero misses
+    assert main(base) == 0
+    warm = capsys.readouterr().out
+    assert "0 miss(es)" in warm
+
+    assert main(["campaign", "status", "--cache-dir", cache_dir]) == 0
+    status = capsys.readouterr().out
+    assert "usable entries" in status
+    assert cache_dir in status
+
+    assert main(["campaign", "clear-cache", "--cache-dir", cache_dir]) == 0
+    assert "cleared" in capsys.readouterr().out
+    assert main(["campaign", "status", "--cache-dir", cache_dir]) == 0
+    assert "usable entries  : 0" in capsys.readouterr().out
+
+
+def test_campaign_help_documents_cache_override(capsys):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--help"])
+    text = capsys.readouterr().out
+    assert "REPRO_CACHE_DIR" in text
+    assert ".cache/repro" in text
