@@ -10,6 +10,13 @@ Exposes the library's main workflows without writing Python::
     python -m repro campaign run --kernels vecadd --sweep smoke --workers 4
     python -m repro campaign status
     python -m repro campaign clear-cache
+    python -m repro --engine fast run sgemm --config 4c8w8t
+
+``--engine {reference,fast}`` (or the ``REPRO_ENGINE`` environment variable)
+selects the simulation engine for every launch of the invocation.  The two
+engines are bit-identical -- same cycles, counters and output buffers,
+enforced by ``tests/test_engine_differential.py`` -- so the choice never
+affects results, only wall-clock time.
 
 ``info`` answers the runtime question the paper poses (what lws should this
 launch use on this machine), ``run`` executes a single workload under a chosen
@@ -23,6 +30,7 @@ the ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -38,6 +46,7 @@ from repro.experiments.report import render_figure2_table, render_speedup_summar
 from repro.runtime.device import Device
 from repro.runtime.launcher import launch_kernel
 from repro.sim.config import ArchConfig
+from repro.sim.engine import DEFAULT_ENGINE, ENGINE_ENV, ENGINES
 from repro.trace.render import render_issue_timeline, render_summary
 from repro.trace.tracer import Tracer
 from repro.workloads.problems import available_problems, make_problem
@@ -49,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Vortex-like GPGPU simulator with runtime micro-architecture-aware "
                     "kernel mapping (IISWC 2023 reproduction).",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="simulation engine driving every launch of this invocation "
+             f"(default: ${ENGINE_ENV} or '{DEFAULT_ENGINE}').  Both engines "
+             "produce bit-identical cycles, counters and output buffers; "
+             "'fast' is simply quicker.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -256,7 +272,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    if args.engine is None:
+        return _COMMANDS[args.command](args)
+    # The engine is threaded through the environment rather than through
+    # every experiment/campaign signature: Device() resolves it wherever one
+    # is built, including inside campaign worker processes (which inherit the
+    # environment).  Restored afterwards so in-process callers (tests) are
+    # unaffected.
+    previous = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = args.engine
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if previous is None:
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = previous
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,14 +21,23 @@ class Device:
     """A simulated Vortex-like GPGPU plus its host-side bookkeeping."""
 
     def __init__(self, config: Union[ArchConfig, str], memory_words: int = DEFAULT_MEMORY_WORDS,
-                 tracer=None):
+                 tracer=None, engine: Optional[str] = None):
         if isinstance(config, str):
             config = ArchConfig.from_name(config)
         self.config = config
-        self.gpu = Gpu(config, memory_words=memory_words, tracer=tracer)
+        self.gpu = Gpu(config, memory_words=memory_words, tracer=tracer, engine=engine)
         self.allocator = BufferAllocator(self.gpu.memory, alignment_words=config.l1_line_words)
 
     # ------------------------------------------------------------------ hardware queries
+    @property
+    def engine(self) -> str:
+        """Simulation engine driving this device (``"reference"`` or ``"fast"``).
+
+        Both engines produce bit-identical results (cycles, counters, output
+        buffers); ``fast`` is simply quicker.  See :mod:`repro.sim.engine`.
+        """
+        return self.gpu.engine
+
     @property
     def hardware_parallelism(self) -> int:
         """``hp = cores * warps * threads`` -- the runtime query behind Eq. 1."""

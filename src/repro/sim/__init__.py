@@ -16,9 +16,13 @@ Public surface:
 * :class:`~repro.sim.gpu.WarpLaunch` / :class:`~repro.sim.gpu.CallResult` --
   the launch descriptor and result of one kernel call.
 * :class:`~repro.sim.stats.PerfCounters` -- aggregated performance counters.
+* :data:`~repro.sim.engine.ENGINES` / :func:`~repro.sim.engine.resolve_engine`
+  -- the interchangeable, bit-identical simulation engines
+  (``"reference"`` and ``"fast"``).
 """
 
 from repro.sim.config import ArchConfig, ConfigError
+from repro.sim.engine import DEFAULT_ENGINE, ENGINES, EngineError, resolve_engine
 from repro.sim.gpu import CallResult, Gpu, WarpLaunch
 from repro.sim.stats import PerfCounters
 
@@ -26,7 +30,11 @@ __all__ = [
     "ArchConfig",
     "CallResult",
     "ConfigError",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "EngineError",
     "Gpu",
     "PerfCounters",
     "WarpLaunch",
+    "resolve_engine",
 ]

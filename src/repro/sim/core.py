@@ -37,6 +37,21 @@ from repro.sim.warp import Warp, popcount
 #: Sentinel returned by :meth:`SimtCore.next_event_hint` when the core is drained.
 NEVER = float("inf")
 
+#: Which :class:`PerfCounters` attribute each instruction class increments
+#: (``None`` for pseudo-ops, which only count as warp/lane instructions).
+#: Shared by the reference core below and the fast engine so the two can
+#: never drift apart in how they classify the instruction mix.
+CLASS_COUNTERS: Dict[OpClass, Optional[str]] = {
+    OpClass.INT_ALU: "alu_instructions",
+    OpClass.INT_MUL: "alu_instructions",
+    OpClass.FLOAT: "fpu_instructions",
+    OpClass.SFU: "sfu_instructions",
+    OpClass.MEMORY: "memory_instructions",
+    OpClass.CONTROL: "control_instructions",
+    OpClass.SIMT: "control_instructions",
+    OpClass.PSEUDO: None,
+}
+
 
 class SimulationError(RuntimeError):
     """Raised when a kernel performs an illegal operation (bad PC, div by zero...)."""
@@ -44,6 +59,9 @@ class SimulationError(RuntimeError):
 
 class SimtCore:
     """One SIMT core executing a single program on its warps."""
+
+    #: Engine this core class implements (the fast engine overrides it).
+    engine_name = "reference"
 
     def __init__(self, core_id: int, config: ArchConfig, program: Program,
                  hierarchy: MemoryHierarchy, memory: MainMemory,
@@ -155,17 +173,9 @@ class SimtCore:
         c = self.counters
         c.warp_instructions += 1
         c.lane_instructions += active_lanes
-        cls = instr.op_class
-        if cls in (OpClass.INT_ALU, OpClass.INT_MUL):
-            c.alu_instructions += 1
-        elif cls is OpClass.FLOAT:
-            c.fpu_instructions += 1
-        elif cls is OpClass.SFU:
-            c.sfu_instructions += 1
-        elif cls is OpClass.MEMORY:
-            c.memory_instructions += 1
-        elif cls in (OpClass.CONTROL, OpClass.SIMT):
-            c.control_instructions += 1
+        bucket = CLASS_COUNTERS[instr.op_class]
+        if bucket is not None:
+            setattr(c, bucket, getattr(c, bucket) + 1)
 
     # ------------------------------------------------------------------ functional execution
     def _build_exec_table(self) -> Dict[Opcode, Callable]:

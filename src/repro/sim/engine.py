@@ -1,0 +1,51 @@
+"""Simulation-engine selection.
+
+The simulator ships two engines that produce **bit-identical** results:
+
+* ``"reference"`` -- the original, straight-line cycle model in
+  :mod:`repro.sim.core`.  Easy to read, easy to audit, and the oracle the
+  differential test layer checks the fast engine against.
+* ``"fast"`` -- the optimised engine in :mod:`repro.sim.fastcore`.  It
+  event-skips (a core whose every warp is stalled is not re-scanned until its
+  ``next_event_hint`` cycle) and vectorises per-lane execution with numpy
+  (ALU/FPU lanes, load/store address generation and coalescing are batched
+  per warp instead of per lane).
+
+Because the engines are equivalent by construction *and by test*
+(``tests/test_engine_differential.py``), the engine choice deliberately never
+enters a campaign job's content hash: a result cached under one engine is
+valid under the other.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+#: Engine names accepted everywhere an engine can be chosen.
+ENGINES: Tuple[str, ...] = ("reference", "fast")
+
+#: Engine used when none is requested (and the environment does not override).
+DEFAULT_ENGINE = "reference"
+
+#: Environment variable consulted when no engine is passed explicitly, so whole
+#: test/benchmark runs can be flipped without touching call sites.
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+class EngineError(ValueError):
+    """Raised for unknown engine names."""
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Return a validated engine name.
+
+    ``None`` falls back to ``$REPRO_ENGINE`` and then :data:`DEFAULT_ENGINE`.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise EngineError(
+            f"unknown simulation engine {engine!r}; expected one of {list(ENGINES)}"
+        )
+    return engine

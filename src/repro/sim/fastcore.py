@@ -1,0 +1,951 @@
+"""The ``fast`` simulation engine: pre-decoded issue + vectorized lanes.
+
+:class:`FastSimtCore` is a drop-in replacement for
+:class:`~repro.sim.core.SimtCore` that produces **bit-identical** results
+(cycles, every performance counter, every memory value) while cutting the
+per-instruction Python overhead:
+
+* **Pre-decoded programs.**  Every PC is decoded once per *program* (shared
+  across cores and kernel calls, see :func:`decode_program`) into a
+  :class:`_Decoded` record holding a compiled handler closure, the scoreboard
+  registers to check, the functional-unit index and the timing -- the
+  per-issue path never touches enum hashing, ``timing_for`` or tuple
+  concatenation again.
+* **Vectorized lanes.**  ALU/FPU/comparison/FMA execution, load/store address
+  generation and the coalescer run as numpy operations over the warp's
+  active-lane selection (:meth:`~repro.sim.warp.FastWarp.selection`) instead
+  of per-lane Python loops.  All register state is float64 in both engines,
+  and only operations whose numpy semantics match the scalar reference
+  bit-for-bit are vectorized: ``FEXP``/``FLOG`` stay on
+  ``math.exp``/``math.log`` (libm and numpy transcendentals may differ in
+  the last ulp), and the ops that route values through Python ``int``
+  (``AND``/``OR``/``XOR``/``SHL``/``SHR``/``F2I``) stay per-lane scalar
+  (arbitrary-precision ints never wrap where int64 would, and ``int()``
+  raises on NaN/inf where ``np.trunc`` propagates).
+* **Cached readiness.**  A warp's own readiness (issue spacing + scoreboard)
+  only changes when the warp itself issues or a barrier releases it, so it is
+  computed once per stall episode instead of every visited cycle; the shared
+  functional-unit constraint is the only part re-checked per attempt.
+* **Batched statistics.**  Instruction-mix counters accumulate per PC and are
+  folded into :class:`~repro.sim.stats.PerfCounters` once per kernel call
+  (:meth:`FastSimtCore.flush_instruction_counters`), yielding identical totals
+  to the reference engine's per-issue increments.
+
+The event-skipping loop itself is :func:`run_fast` at the bottom of this
+module (:class:`~repro.sim.gpu.Gpu` delegates to it): it caches each core's
+``next_event_hint`` so stalled cores are not re-scanned every cycle, and
+inlines the per-core issue attempt so no Python call frame is paid per
+instruction.  A cached hint stays valid until the core issues again because
+a core's readiness depends only on its own state (scoreboard, functional
+units, barriers); other cores influence only the *latency* charged through
+the shared memory system, never *whether* this core can issue.
+
+Equivalence with the reference engine is enforced by
+``tests/test_engine_differential.py`` and the golden-counter fixtures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.latencies import FunctionalUnit, timing_for
+from repro.isa.opcodes import Opcode, op_class
+from repro.isa.program import Program
+from repro.isa.registers import NUM_ARG_SLOTS, Csr
+from repro.sim.config import ArchConfig
+from repro.sim.core import CLASS_COUNTERS, NEVER, SimtCore, SimulationError
+from repro.sim.memory.hierarchy import MemoryHierarchy
+from repro.sim.memory.mainmem import MainMemory
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sim.stats import PerfCounters
+
+_UNIT_INDEX = {unit: index for index, unit in enumerate(FunctionalUnit)}
+
+
+def _pymin(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Python's ``min(a, b)`` (returns ``a`` unless ``b < a``), vectorized.
+
+    ``np.minimum`` differs from Python ``min`` for NaNs and signed zeros;
+    ``np.where`` reproduces the scalar semantics exactly.
+    """
+    return np.where(b < a, b, a)
+
+
+def _pymax(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Python's ``max(a, b)``, vectorized (see :func:`_pymin`)."""
+    return np.where(b > a, b, a)
+
+
+def _bool_f64(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.float64)
+
+
+#: Binary opcodes with an exactly-equivalent numpy implementation.
+_BINARY_NP = {
+    Opcode.ADD: np.add,
+    Opcode.SUB: np.subtract,
+    Opcode.MUL: np.multiply,
+    Opcode.SLT: lambda a, b: _bool_f64(a < b),
+    Opcode.SLE: lambda a, b: _bool_f64(a <= b),
+    Opcode.SEQ: lambda a, b: _bool_f64(a == b),
+    Opcode.SNE: lambda a, b: _bool_f64(a != b),
+    Opcode.MIN: _pymin,
+    Opcode.MAX: _pymax,
+    Opcode.FADD: np.add,
+    Opcode.FSUB: np.subtract,
+    Opcode.FMUL: np.multiply,
+    Opcode.FMIN: _pymin,
+    Opcode.FMAX: _pymax,
+    Opcode.FLT: lambda a, b: _bool_f64(a < b),
+    Opcode.FLE: lambda a, b: _bool_f64(a <= b),
+    Opcode.FEQ: lambda a, b: _bool_f64(a == b),
+}
+
+#: Binary opcodes that route per-lane values through Python ``int``: kept as
+#: scalar loops because int64 vectorization is *not* equivalent -- Python
+#: ints never wrap (SHL of 2.0 by 62 is exact where int64 left-shift wraps
+#: negative), a negative shift count must raise, and operands at or beyond
+#: 2**63 overflow the int64 cast.  These opcodes are cold (zero occurrences
+#: in the nine library kernels' programs), so exactness costs nothing.
+_BINARY_SCALAR = {
+    Opcode.AND: lambda a, b: float(int(a) & int(b)),
+    Opcode.OR: lambda a, b: float(int(a) | int(b)),
+    Opcode.XOR: lambda a, b: float(int(a) ^ int(b)),
+    Opcode.SHL: lambda a, b: float(int(a) << int(b)),
+    Opcode.SHR: lambda a, b: float(int(a) >> int(b)),
+}
+
+#: Unary opcodes vectorized with numpy (all bit-exact vs. the scalar path:
+#: sqrt is correctly rounded by IEEE 754, abs/neg are exact).
+_UNARY_NP = {
+    Opcode.I2F: lambda a: a,
+    Opcode.ABS: np.abs,
+    Opcode.FABS: np.abs,
+    Opcode.NEG: np.negative,
+    Opcode.FNEG: np.negative,
+    Opcode.FSQRT: lambda a: np.sqrt(np.where(a > 0.0, a, 0.0)),
+}
+
+#: Unary opcodes kept scalar so the fast engine cannot drift from the
+#: reference: libm exp/log may differ from numpy's in the last ulp, and F2I
+#: must raise on NaN/inf exactly like ``int(float)`` does (``np.trunc``
+#: would silently propagate them).
+_UNARY_SCALAR = {
+    Opcode.F2I: lambda a: float(int(a)),
+    Opcode.FEXP: math.exp,
+    Opcode.FLOG: lambda a: math.log(a) if a > 0.0 else float("-inf"),
+}
+
+#: Warp-uniform CSR numbers -> the :class:`~repro.isa.registers.CsrFile`
+#: attribute holding the value, resolved at decode time so the per-issue path
+#: skips :meth:`CsrFile.read`'s number dispatch.
+_UNIFORM_CSR_ATTRS = {
+    Csr.WARP_ID: "warp_id",
+    Csr.CORE_ID: "core_id",
+    Csr.NUM_THREADS: "num_threads",
+    Csr.NUM_WARPS: "num_warps",
+    Csr.NUM_CORES: "num_cores",
+    Csr.LOCAL_SIZE: "local_size",
+    Csr.GLOBAL_SIZE: "global_size",
+    Csr.NUM_GROUPS: "num_groups",
+    Csr.CALL_INDEX: "call_index",
+}
+
+#: Control opcodes that never touch the register file; the reference handlers
+#: are reused directly (called unbound with the core as ``self``).
+_BASE_HANDLERS = {
+    Opcode.JMP: SimtCore._exec_jmp,
+    Opcode.JOIN: SimtCore._exec_join,
+    Opcode.LOOP_BEGIN: SimtCore._exec_loop_begin,
+    Opcode.BAR: SimtCore._exec_bar,
+    Opcode.NOP: SimtCore._exec_nop,
+}
+
+#: Opcodes that can halt a warp; issuing one makes the GPU loop re-check
+#: whether the core drained.
+_DRAINING = {
+    Opcode.TMC: SimtCore._exec_tmc,
+    Opcode.HALT: SimtCore._exec_halt,
+}
+
+
+class _Decoded:
+    """Everything the issue path needs about one PC, computed once per program.
+
+    ``tup`` packs the hot fields into one tuple so the issue loop performs a
+    single slot load plus an unpack instead of seven attribute reads:
+    ``(run, dst, check_regs, default_latency, initiation_interval,
+    unit_index, fu_check, is_mem)``.
+    """
+
+    __slots__ = ("instr", "run", "dst", "check_regs", "default_latency",
+                 "initiation_interval", "unit_index", "fu_check", "is_mem",
+                 "bucket", "tup")
+
+
+# ----------------------------------------------------------------------
+# decode: program -> list of _Decoded (shared by every core and call)
+# ----------------------------------------------------------------------
+def decode_program(program: Program, config: ArchConfig) -> List[_Decoded]:
+    """Decode ``program`` once for ``config``.
+
+    The result is immutable and core-independent (handlers receive the core
+    at run time), so one decode serves every core of every kernel call of a
+    launch.  :class:`~repro.sim.gpu.Gpu` memoises it per program.
+    """
+    decoded = [_decode_one(program[pc], config) for pc in range(len(program))]
+    # A functional unit only ever *blocks* an issue if some instruction of
+    # this program can mark it busy (initiation interval > 1, or the
+    # per-line LSU occupancy of memory ops).  Instructions bound for any
+    # other unit skip the FU-availability read entirely.
+    busyable = {d.unit_index for d in decoded
+                if d.is_mem or d.initiation_interval > 1}
+    for d in decoded:
+        d.fu_check = d.unit_index in busyable
+        d.tup = (d.run, d.dst, d.check_regs, d.default_latency,
+                 d.initiation_interval, d.unit_index, d.fu_check, d.is_mem)
+    return decoded
+
+
+def _decode_one(instr: Instruction, config: ArchConfig) -> _Decoded:
+    timing = timing_for(instr.opcode, config.timing_overrides)
+    d = _Decoded()
+    d.instr = instr
+    d.dst = instr.dst
+    d.check_regs = instr.srcs if instr.dst is None else instr.srcs + (instr.dst,)
+    d.default_latency = timing.latency if timing.latency is not None else 1
+    d.initiation_interval = timing.initiation_interval
+    d.unit_index = _UNIT_INDEX[timing.unit]
+    d.is_mem = instr.opcode in (Opcode.LOAD, Opcode.STORE)
+    d.bucket = CLASS_COUNTERS[op_class(instr.opcode)]
+    d.run = _compile(instr, config)
+    return d
+
+
+def _compile(instr: Instruction, config: ArchConfig) -> Callable:
+    """Build the ``run(core, warp, cycle)`` closure for one instruction."""
+    O = Opcode
+    opcode = instr.opcode
+    if opcode in _BINARY_NP:
+        return _c_binary(instr, _BINARY_NP[opcode])
+    if opcode in _BINARY_SCALAR:
+        return _c_binary_scalar(instr, _BINARY_SCALAR[opcode])
+    if opcode in (O.DIV, O.FDIV, O.REM):
+        return _c_divlike(instr, opcode)
+    if opcode in _UNARY_NP:
+        return _c_unary(instr, _UNARY_NP[opcode])
+    if opcode in _UNARY_SCALAR:
+        return _c_unary_scalar(instr, _UNARY_SCALAR[opcode])
+    if opcode is O.FMA:
+        return _c_fma(instr)
+    if opcode is O.LI:
+        return _c_li(instr)
+    if opcode is O.MOV:
+        return _c_mov(instr)
+    if opcode is O.CSRR:
+        return _c_csrr(instr)
+    if opcode is O.LOAD:
+        return _c_load(instr, config)
+    if opcode is O.STORE:
+        return _c_store(instr, config)
+    if opcode is O.SPLIT:
+        return _c_split(instr)
+    if opcode is O.LOOP_END:
+        return _c_loop_end(instr)
+    if opcode in _DRAINING:
+        base = _DRAINING[opcode]
+
+        def run_drain(core, warp, cycle, _instr=instr, _base=base):
+            result = _base(core, warp, _instr, cycle)
+            core._drain_check = True
+            return result
+        return run_drain
+    base = _BASE_HANDLERS[opcode]
+
+    def run_base(core, warp, cycle, _instr=instr, _base=base):
+        return _base(core, warp, _instr, cycle)
+    return run_base
+
+
+# ----------------------------------------------------------------------
+# compiled handlers (instruction constants baked in at decode time)
+# ----------------------------------------------------------------------
+def _c_binary(instr: Instruction, np_fn: Callable) -> Callable:
+    s0, s1 = instr.srcs
+    dst = instr.dst
+    if isinstance(np_fn, np.ufunc):
+        # True ufuncs write straight into the destination row (``None`` =
+        # all lanes) or row view (slice), saving a temporary and a copy.
+        def run(core, warp, cycle):
+            rows = warp.rows
+            mask = warp.active_mask
+            sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+            if sel is None:
+                np_fn(rows[s0], rows[s1], out=rows[dst])
+            elif type(sel) is slice:
+                np_fn(rows[s0][sel], rows[s1][sel], out=rows[dst][sel])
+            else:
+                rows[dst][sel] = np_fn(rows[s0][sel], rows[s1][sel])
+            warp.pc += 1
+        return run
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            rows[dst][:] = np_fn(rows[s0], rows[s1])
+        else:
+            rows[dst][sel] = np_fn(rows[s0][sel], rows[s1][sel])
+        warp.pc += 1
+    return run
+
+
+def _c_binary_scalar(instr: Instruction, fn: Callable) -> Callable:
+    s0, s1 = instr.srcs
+    dst = instr.dst
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        a_row, b_row, dst_row = rows[s0], rows[s1], rows[dst]
+        for lane in warp.active_lanes():
+            dst_row[lane] = fn(a_row[lane], b_row[lane])
+        warp.pc += 1
+    return run
+
+
+def _c_divlike(instr: Instruction, opcode: Opcode) -> Callable:
+    s0, s1 = instr.srcs
+    dst = instr.dst
+
+    if opcode is not Opcode.FDIV:
+        # DIV/REM truncate through math.trunc, which raises on inf/NaN where
+        # np.trunc would silently propagate them -- so they stay per-lane
+        # scalar, reusing the reference handlers verbatim (same results,
+        # same divide-by-zero and non-finite errors).
+        fn = SimtCore._safe_div if opcode is Opcode.DIV else SimtCore._safe_rem
+        return _c_binary_scalar(instr, fn)
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            a, b = rows[s0], rows[s1]
+        else:
+            a, b = rows[s0][sel], rows[s1][sel]
+        if np.any(b == 0.0):
+            raise SimulationError("floating-point division by zero")
+        if sel is None:
+            rows[dst][:] = a / b
+        else:
+            rows[dst][sel] = a / b
+        warp.pc += 1
+    return run
+
+
+def _c_unary(instr: Instruction, np_fn: Callable) -> Callable:
+    (s0,) = instr.srcs
+    dst = instr.dst
+    if isinstance(np_fn, np.ufunc):
+        def run(core, warp, cycle):
+            rows = warp.rows
+            mask = warp.active_mask
+            sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+            if sel is None:
+                np_fn(rows[s0], out=rows[dst])
+            elif type(sel) is slice:
+                np_fn(rows[s0][sel], out=rows[dst][sel])
+            else:
+                rows[dst][sel] = np_fn(rows[s0][sel])
+            warp.pc += 1
+        return run
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            rows[dst][:] = np_fn(rows[s0])
+        else:
+            rows[dst][sel] = np_fn(rows[s0][sel])
+        warp.pc += 1
+    return run
+
+
+def _c_unary_scalar(instr: Instruction, fn: Callable) -> Callable:
+    (s0,) = instr.srcs
+    dst = instr.dst
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        src_row, dst_row = rows[s0], rows[dst]
+        for lane in warp.active_lanes():
+            dst_row[lane] = fn(src_row[lane])
+        warp.pc += 1
+    return run
+
+
+def _c_fma(instr: Instruction) -> Callable:
+    s0, s1, s2 = instr.srcs
+    dst = instr.dst
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            scratch = warp.scratch
+            np.multiply(rows[s0], rows[s1], out=scratch)
+            np.add(scratch, rows[s2], out=rows[dst])
+        elif type(sel) is slice:
+            scratch = warp.scratch[sel]
+            np.multiply(rows[s0][sel], rows[s1][sel], out=scratch)
+            np.add(scratch, rows[s2][sel], out=rows[dst][sel])
+        else:
+            rows[dst][sel] = rows[s0][sel] * rows[s1][sel] + rows[s2][sel]
+        warp.pc += 1
+    return run
+
+
+def _c_li(instr: Instruction) -> Callable:
+    value = float(instr.imm)
+    dst = instr.dst
+
+    def run(core, warp, cycle):
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            warp.rows[dst].fill(value)
+        else:
+            warp.rows[dst][sel] = value
+        warp.pc += 1
+    return run
+
+
+def _c_mov(instr: Instruction) -> Callable:
+    (src,) = instr.srcs
+    dst = instr.dst
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            rows[dst][:] = rows[src]
+        else:
+            rows[dst][sel] = rows[src][sel]
+        warp.pc += 1
+    return run
+
+
+def _c_csrr(instr: Instruction) -> Callable:
+    """CSR reads, specialised per CSR number at decode time.
+
+    Only ``THREAD_ID``, ``WORKGROUP_ID`` and ``LOCAL_COUNT`` vary per lane
+    (see :class:`repro.isa.registers.CsrFile`); every other CSR is uniform
+    across the warp and needs a single scalar read instead of one per lane.
+    """
+    csr_number = int(instr.imm)
+    dst = instr.dst
+    if csr_number == Csr.THREAD_ID:
+        def run(core, warp, cycle):
+            mask = warp.active_mask
+            sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+            if sel is None:
+                warp.rows[dst][:] = warp.lane_ids
+            else:
+                warp.rows[dst][sel] = warp.lane_ids[sel]
+            warp.pc += 1
+        return run
+    if csr_number in (Csr.WORKGROUP_ID, Csr.LOCAL_COUNT):
+        attr = "workgroup_ids" if csr_number == Csr.WORKGROUP_ID else "local_counts"
+
+        def run(core, warp, cycle):
+            values = getattr(warp.csr, attr)
+            row = np.zeros(warp.lane_count, dtype=np.float64)
+            row[:len(values)] = values
+            mask = warp.active_mask
+            sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+            if sel is None:
+                warp.rows[dst][:] = row
+            else:
+                warp.rows[dst][sel] = row[sel]
+            warp.pc += 1
+        return run
+
+    attr = _UNIFORM_CSR_ATTRS.get(csr_number)
+    if attr is not None:
+        def run(core, warp, cycle):
+            value = getattr(warp.csr, attr)
+            mask = warp.active_mask
+            sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+            if sel is None:
+                warp.rows[dst].fill(value)
+            else:
+                warp.rows[dst][sel] = value
+            warp.pc += 1
+        return run
+    if Csr.ARG_BASE <= csr_number < Csr.ARG_BASE + NUM_ARG_SLOTS:
+        slot = csr_number - Csr.ARG_BASE
+
+        def run(core, warp, cycle):
+            value = warp.csr.args.get(slot, 0.0)
+            mask = warp.active_mask
+            sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+            if sel is None:
+                warp.rows[dst].fill(value)
+            else:
+                warp.rows[dst][sel] = value
+            warp.pc += 1
+        return run
+
+    def run(core, warp, cycle):
+        # Unknown CSR: read() raises exactly like the reference's per-lane
+        # read would.
+        value = warp.csr.read(csr_number, 0)
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            warp.rows[dst].fill(value)
+        else:
+            warp.rows[dst][sel] = value
+        warp.pc += 1
+    return run
+
+
+# -- memory ---------------------------------------------------------------
+def _line_math(line_words: int) -> Callable:
+    """``addresses -> per-lane line addresses``; a shift when the line size is
+    a power of two (int64 ``>>`` floors exactly like ``//``)."""
+    if line_words & (line_words - 1) == 0:
+        shift = line_words.bit_length() - 1
+        return lambda addresses: addresses >> shift
+    return lambda addresses: addresses // line_words
+
+
+def _lines_in_bounds(lines, full_lines: int) -> bool:
+    """True when every line index lies in ``[0, full_lines)``.
+
+    A line inside that range contains only valid word addresses, so the
+    per-address bounds check can be skipped; anything else falls back to the
+    exact (raising) check.  ``lines`` is any iterable of line indices (the
+    handlers pass the dedup dict's keys).
+    """
+    if len(lines) == 1:
+        return 0 <= next(iter(lines)) < full_lines
+    return min(lines) >= 0 and max(lines) < full_lines
+
+
+def _c_load(instr: Instruction, config: ArchConfig) -> Callable:
+    (addr_reg,) = instr.srcs
+    offset = int(instr.imm or 0)
+    dst = instr.dst
+    to_lines = _line_math(config.l1_line_words)
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            addresses = rows[addr_reg].astype(np.int64)
+        else:
+            addresses = rows[addr_reg][sel].astype(np.int64)
+        if offset:
+            addresses += offset
+        # Dedup to unique lines in first-appearance order (same request order
+        # and count as the reference coalescer); iterated as dict keys.
+        lines = dict.fromkeys(to_lines(addresses).tolist())
+        num_lines = len(lines)
+        core._last_line_count = num_lines
+        memory = core.memory
+        if _lines_in_bounds(lines, core._full_lines):
+            if sel is None:
+                memory.gather_unchecked(addresses, out=rows[dst])
+            else:
+                rows[dst][sel] = memory.gather_unchecked(addresses)
+        else:
+            values = memory.gather(addresses)  # exact per-batch check, may raise
+            if sel is None:
+                rows[dst][:] = values
+            else:
+                rows[dst][sel] = values
+        # No per-access _count_memory_level here: the cache/DRAM counters are
+        # overwritten from the hierarchy's own statistics when the call ends
+        # (Gpu._fold_memory_statistics), so per-access increments are unused.
+        latency = core.hierarchy.load_lines_fast(core.core_id, lines, cycle)
+        counters = core.counters
+        counters.loads += 1
+        counters.load_lines += num_lines
+        warp.pc += 1
+        return latency
+    return run
+
+
+def _c_store(instr: Instruction, config: ArchConfig) -> Callable:
+    value_reg, addr_reg = instr.srcs
+    offset = int(instr.imm or 0)
+    to_lines = _line_math(config.l1_line_words)
+
+    def run(core, warp, cycle):
+        rows = warp.rows
+        mask = warp.active_mask
+        sel = warp._sel_cache if mask == warp._sel_cache_mask else warp.selection()
+        if sel is None:
+            addresses = rows[addr_reg].astype(np.int64)
+            values = rows[value_reg]
+        else:
+            addresses = rows[addr_reg][sel].astype(np.int64)
+            values = rows[value_reg][sel]
+        if offset:
+            addresses += offset
+        lines = dict.fromkeys(to_lines(addresses).tolist())
+        num_lines = len(lines)
+        core._last_line_count = num_lines
+        memory = core.memory
+        if _lines_in_bounds(lines, core._full_lines):
+            memory.scatter_unchecked(addresses, values)
+        else:
+            memory.scatter(addresses, values)  # exact per-batch check, may raise
+        core.hierarchy.store_lines_fast(core.core_id, lines, cycle)
+        counters = core.counters
+        counters.stores += 1
+        counters.store_lines += num_lines
+        warp.pc += 1
+        return 1
+    return run
+
+
+# -- divergence -----------------------------------------------------------
+def _nonzero_mask(warp, cond_reg: int) -> int:
+    """Mask of active lanes whose ``cond_reg`` is non-zero.
+
+    Compares the whole register row (stale values in inactive lanes are
+    masked off by ``active_mask``), then packs the boolean vector into an
+    int.  Warps narrow enough for the mask to fit a float64 mantissa use a
+    dot product with per-lane powers of two (one numpy call, exact because
+    the sum of distinct powers below 2**52 is exactly representable); wider
+    warps fall back to ``packbits``.
+    """
+    nonzero = warp.rows[cond_reg] != 0.0
+    weights = warp.bit_weights
+    if weights is not None:
+        return int(nonzero.dot(weights)) & warp.active_mask
+    packed = np.packbits(nonzero, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little") & warp.active_mask
+
+
+def _c_split(instr: Instruction) -> Callable:
+    (cond_reg,) = instr.srcs
+    else_pc, join_pc = instr.target, instr.target2
+
+    def run(core, warp, cycle):
+        taken = _nonzero_mask(warp, cond_reg)
+        full = warp.active_mask
+        not_taken = full & ~taken
+        if taken and not_taken:
+            warp.simt_stack.append(("else", not_taken, full, else_pc, join_pc))
+            warp.active_mask = taken
+            warp.pc += 1
+            core.counters.divergent_branches += 1
+        elif taken:
+            warp.simt_stack.append(("join", full, join_pc))
+            warp.pc += 1
+        else:
+            warp.simt_stack.append(("join", full, join_pc))
+            warp.pc = else_pc
+    return run
+
+
+def _c_loop_end(instr: Instruction) -> Callable:
+    (cond_reg,) = instr.srcs
+    target = instr.target
+
+    def run(core, warp, cycle):
+        alive = _nonzero_mask(warp, cond_reg)
+        if alive:
+            if alive != warp.active_mask:
+                core.counters.divergent_branches += 1
+            warp.active_mask = alive
+            warp.pc = target
+        else:
+            if not warp.simt_stack or warp.simt_stack[-1][0] != "loop":
+                raise SimulationError(
+                    f"core {core.core_id} warp {warp.warp_id}: LOOP_END without LOOP_BEGIN"
+                )
+            _, mask = warp.simt_stack.pop()
+            warp.active_mask = mask
+            warp.pc += 1
+    return run
+
+
+# ----------------------------------------------------------------------
+class FastSimtCore(SimtCore):
+    """SIMT core with pre-decoded issue and numpy lane execution."""
+
+    engine_name = "fast"
+
+    def _build_exec_table(self):
+        # The reference dispatch table is dead weight here: every opcode runs
+        # through its pre-compiled ``_Decoded.run`` closure instead.  Skipping
+        # the ~50 closure constructions matters because cores are rebuilt for
+        # every kernel call.
+        return {}
+
+    def __init__(self, core_id: int, config: ArchConfig, program: Program,
+                 hierarchy: MemoryHierarchy, memory: MainMemory,
+                 counters: PerfCounters, tracer=None,
+                 decoded: Optional[List[_Decoded]] = None):
+        super().__init__(core_id, config, program, hierarchy, memory,
+                         counters, tracer=tracer)
+        self._fu_busy: List[int] = [0] * len(_UNIT_INDEX)
+        self._last_line_count = 1
+        #: Number of cache lines that lie *entirely* inside device memory.  A
+        #: coalesced line index in ``[0, _full_lines)`` proves every word
+        #: address of that line is in bounds, letting loads/stores take the
+        #: unchecked gather/scatter path.
+        self._full_lines = memory.size_words // config.l1_line_words
+        self._decode = decoded if decoded is not None else decode_program(program, config)
+        self._plen = len(self._decode)
+        self._pc_issues: List[int] = [0] * self._plen
+        self._pc_lanes: List[int] = [0] * self._plen
+        self._drain_check = False
+        if isinstance(self._scheduler, RoundRobinScheduler):
+            self._rr_n = self._scheduler.num_warps
+            self._rr_next = 0
+            self._is_rr = True
+            # Built lazily on the first issue attempt, once the warp count is
+            # known: each rotation is pre-filtered to existing warp indices so
+            # the scan never tests ``index >= num_warps``.
+            self._rr_orders: Optional[List[List[int]]] = None
+        else:
+            self._is_rr = False
+            self._rr_orders = None
+
+    # The per-issue logic lives inlined in :func:`run_fast` below -- one
+    # Python call frame per issued instruction was the engine's largest
+    # remaining overhead.
+
+    def _release_barrier(self, cycle: int) -> None:
+        for w in self.warps:
+            if w.at_barrier:
+                w.at_barrier = False
+                w.next_issue_cycle = cycle + self.config.barrier_latency
+                w._d_cache = None  # readiness changed: recompute on next visit
+        self._barrier_waiting = 0
+
+    # ------------------------------------------------------------------ statistics
+    def flush_instruction_counters(self) -> None:
+        """Fold the per-PC issue tallies into the shared counters.
+
+        Called once per kernel call by the fast GPU loop; produces exactly
+        the totals the reference engine accumulates per issue.
+        """
+        counters = self.counters
+        decode = self._decode
+        lanes = self._pc_lanes
+        warp_total = 0
+        lane_total = 0
+        buckets = {}
+        for pc, issued in enumerate(self._pc_issues):
+            if not issued:
+                continue
+            warp_total += issued
+            lane_total += lanes[pc]
+            bucket = decode[pc].bucket
+            if bucket is not None:
+                buckets[bucket] = buckets.get(bucket, 0) + issued
+        counters.warp_instructions += warp_total
+        counters.lane_instructions += lane_total
+        for bucket, count in buckets.items():
+            setattr(counters, bucket, getattr(counters, bucket) + count)
+        self._pc_issues = [0] * len(self._pc_issues)
+        self._pc_lanes = [0] * len(self._pc_lanes)
+
+
+# ----------------------------------------------------------------------
+# the event-skipping issue loop (Gpu delegates here for the fast engine)
+# ----------------------------------------------------------------------
+def run_fast(active_cores: List[FastSimtCore], counters: PerfCounters,
+             max_cycles: Optional[int], tracer) -> int:
+    """Simulate one kernel call on ``active_cores`` and return its cycle count.
+
+    Identical cycle arithmetic to :meth:`repro.sim.gpu.Gpu._run_reference` --
+    same visited cycles, same issue order, same stall accounting -- with two
+    structural accelerations:
+
+    * **event skipping**: a core whose cached ``next_event_hint`` lies in the
+      future is charged its stall without being re-scanned, and when no core
+      can issue the clock jumps straight to the earliest hint.  A cached hint
+      stays valid until the core issues again because a core's readiness
+      depends only on its own state (scoreboard, functional units, barriers);
+      other cores influence only the *latency* charged through the shared
+      memory system, never *whether* this core can issue.
+    * **inlined issue**: the per-core issue attempt (the fast counterpart of
+      :meth:`~repro.sim.core.SimtCore.try_issue`) is inlined into the loop
+      body, saving one Python call frame per issued instruction.
+
+    Core-drain checks run only after an instruction that can halt a warp
+    (``TMC``/``HALT`` set ``_drain_check`` at decode time).
+    """
+    busy = [core for core in active_cores if core.busy]
+    # Cached per-core next_event_hint, parallel to ``busy``.  A negative
+    # value means "unknown, must attempt an issue".
+    hints = [-1.0] * len(busy)
+    cycle = 0
+    issue_cycles = stall_cycles = active_cycles = 0
+    while busy:
+        if max_cycles is not None and cycle > max_cycles:
+            raise SimulationError(
+                f"kernel call exceeded max_cycles={max_cycles} "
+                f"({len(busy)} cores still busy)"
+            )
+        issued = 0
+        drained = False
+        next_hint = NEVER
+        for i, core in enumerate(busy):
+            hint = hints[i]
+            if hint > cycle:
+                if hint < next_hint:
+                    next_hint = hint
+                continue
+            # ---- one issue attempt for `core` (try_issue, inlined) ----
+            warps = core.warps
+            num_warps = len(warps)
+            if core._is_rr:
+                orders = core._rr_orders
+                if orders is None:
+                    # Warps are all attached before the first cycle, so the
+                    # filtered rotations stay valid for the whole call.
+                    n = core._rr_n
+                    orders = core._rr_orders = [
+                        [index for offset in range(n)
+                         if (index := (start + offset) % n) < num_warps]
+                        for start in range(n)
+                    ]
+                order = orders[core._rr_next]
+            else:
+                order = [w for w in core._scheduler.priority_order()
+                         if w < num_warps]
+            decode = core._decode
+            fu_busy = core._fu_busy
+            earliest = NEVER
+            issued_here = False
+            for index in order:
+                warp = warps[index]
+                if warp.halted or warp.at_barrier:
+                    continue
+                # A warp's own readiness (issue spacing + scoreboard) changes
+                # only when the warp issues or a barrier releases it, so it
+                # is cached on the warp across failed attempts; only the
+                # shared FU constraint is re-read.  The common
+                # immediate-issue case skips the cache writes entirely.
+                d = warp._d_cache
+                if d is None:
+                    pc = warp.pc
+                    try:
+                        d = decode[pc].tup
+                    except IndexError:
+                        # Exactly the reference failure mode: tuple indexing
+                        # in both engines wraps negative PCs and raises past
+                        # the end.
+                        raise SimulationError(
+                            f"core {core.core_id} warp {warp.warp_id}: "
+                            f"PC {pc} ran off the program"
+                        ) from None
+                    (run, dst, check_regs, default_latency, interval,
+                     unit_index, fu_check, is_mem) = d
+                    own = warp.next_issue_cycle
+                    reg_ready = warp.reg_ready
+                    for reg in check_regs:
+                        pending = reg_ready[reg]
+                        if pending > own:
+                            own = pending
+                else:
+                    own = warp._own_ready
+                    pc = warp.pc
+                    (run, dst, check_regs, default_latency, interval,
+                     unit_index, fu_check, is_mem) = d
+                if fu_check:
+                    fu_free = fu_busy[unit_index]
+                    ready = own if own >= fu_free else fu_free
+                else:
+                    ready = own
+                if ready <= cycle:
+                    # ---- issue ----
+                    core._pc_issues[pc] += 1
+                    core._pc_lanes[pc] += warp.active_mask.bit_count()
+                    if tracer is not None:
+                        instr = decode[pc].instr
+                        tracer.record(cycle=cycle, core=core.core_id,
+                                      warp=warp.warp_id, pc=pc,
+                                      opcode=instr.opcode,
+                                      mask=warp.active_mask,
+                                      section=instr.section)
+                    latency = run(core, warp, cycle)
+                    if latency is None:
+                        latency = default_latency
+                    if dst is not None:
+                        warp.reg_ready[dst] = cycle + latency
+                    fu_hold = interval
+                    if is_mem and core._last_line_count > fu_hold:
+                        fu_hold = core._last_line_count
+                    if fu_hold > 1:
+                        fu_busy[unit_index] = cycle + fu_hold
+                    warp.next_issue_cycle = cycle + 1
+                    warp._d_cache = None
+                    # Completed scoreboard entries are *not* eagerly retired:
+                    # an entry whose cycle has passed can never change a
+                    # decision or a hint (readiness is a max against future
+                    # constraints), and each slot is overwritten on its next
+                    # write, so the list stays bounded by the register count.
+                    if core._is_rr:
+                        core._rr_next = (index + 1) % core._rr_n
+                    else:
+                        core._scheduler.issued(index)
+                    issued_here = True
+                    break
+                warp._d_cache = d
+                warp._own_ready = own
+                if ready < earliest:
+                    earliest = ready
+            if issued_here:
+                issued += 1
+                hints[i] = -1.0
+                if core._drain_check:
+                    core._drain_check = False
+                    if not core.busy:
+                        drained = True
+            else:
+                hints[i] = earliest
+                if earliest < next_hint:
+                    next_hint = earliest
+        # Every busy core either issued or stalled this visited cycle -- the
+        # same per-core accounting as the reference loop.
+        stall_cycles += len(busy) - issued
+        if issued:
+            issue_cycles += issued
+            active_cycles += 1
+            cycle += 1
+            if drained:
+                pairs = [(core, hints[i]) for i, core in enumerate(busy)
+                         if core.busy]
+                busy = [core for core, _ in pairs]
+                hints = [hint for _, hint in pairs]
+        else:
+            if next_hint is NEVER or next_hint <= cycle:
+                raise SimulationError(
+                    f"simulation deadlock at cycle {cycle}: no core can "
+                    f"make progress"
+                )
+            cycle = int(next_hint)
+    counters.issue_cycles += issue_cycles
+    counters.stall_cycles += stall_cycles
+    counters.active_cycles += active_cycles
+    for core in active_cores:
+        core.flush_instruction_counters()
+    return cycle

@@ -11,6 +11,13 @@ clock jumps directly to the earliest cycle at which any core may issue again
 (pending register writebacks, functional-unit availability), so configurations
 with long memory stalls or mostly-idle machines simulate quickly without
 changing the cycle arithmetic.
+
+Two interchangeable engines drive the loop (see :mod:`repro.sim.engine`): the
+``reference`` engine re-scans every busy core every cycle, while the ``fast``
+engine additionally caches each stalled core's ``next_event_hint`` and runs
+lane execution vectorised (:mod:`repro.sim.fastcore`).  Both produce
+bit-identical cycles, counters and memory contents -- the differential test
+suite holds them to that.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.isa.program import Program
 from repro.isa.registers import CsrFile
 from repro.sim.config import ArchConfig
 from repro.sim.core import NEVER, SimtCore, SimulationError
+from repro.sim.engine import resolve_engine
 from repro.sim.memory.hierarchy import MemoryHierarchy
 from repro.sim.memory.mainmem import MainMemory
 from repro.sim.stats import PerfCounters
@@ -53,11 +61,16 @@ class Gpu:
     """A simulated Vortex-like GPGPU device."""
 
     def __init__(self, config: ArchConfig, memory_words: int = DEFAULT_MEMORY_WORDS,
-                 tracer=None):
+                 tracer=None, engine: Optional[str] = None):
         self.config = config
         self.memory = MainMemory(memory_words)
         self.hierarchy = MemoryHierarchy(config)
         self.tracer = tracer
+        self.engine = resolve_engine(engine)
+        # program id -> (program, decoded) kept by the fast engine so a
+        # program is decoded once per launch instead of once per core per
+        # call (the program reference pins the id against reuse).
+        self._decode_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     def reset_memory_system(self) -> None:
@@ -81,6 +94,19 @@ class Gpu:
         cores = self._build_cores(program, launches, counters)
         active_cores: List[SimtCore] = list(cores.values())
 
+        if self.engine == "fast":
+            cycle = self._run_fast(active_cores, counters, max_cycles)
+        else:
+            cycle = self._run_reference(active_cores, counters, max_cycles)
+
+        counters.cycles = cycle
+        counters.warps_launched = len(launches)
+        self._fold_memory_statistics(counters)
+        return CallResult(cycles=cycle, counters=counters)
+
+    def _run_reference(self, active_cores: List[SimtCore], counters: PerfCounters,
+                       max_cycles: Optional[int]) -> int:
+        """The straight-line reference loop: scan every busy core every cycle."""
         cycle = 0
         while True:
             busy_cores = [core for core in active_cores if core.busy]
@@ -112,16 +138,41 @@ class Gpu:
                         f"simulation deadlock at cycle {cycle}: no core can make progress"
                     )
                 cycle = int(next_hint)
+        return cycle
 
-        counters.cycles = cycle
-        counters.warps_launched = len(launches)
-        self._fold_memory_statistics(counters)
-        return CallResult(cycles=cycle, counters=counters)
+    def _run_fast(self, active_cores: List[SimtCore], counters: PerfCounters,
+                  max_cycles: Optional[int]) -> int:
+        """Event-skipping loop used by the ``fast`` engine.
+
+        Identical cycle arithmetic to :meth:`_run_reference` -- same visited
+        cycles, same issue order, same stall accounting -- but a core whose
+        cached ``next_event_hint`` lies in the future is charged its stall
+        without being re-scanned, and the per-core issue attempt is inlined
+        into the loop.  Lives in :func:`repro.sim.fastcore.run_fast` with the
+        rest of the fast engine.
+        """
+        from repro.sim.fastcore import run_fast
+
+        return run_fast(active_cores, counters, max_cycles, self.tracer)
 
     # ------------------------------------------------------------------ helpers
     def _build_cores(self, program: Program, launches: Sequence[WarpLaunch],
                      counters: PerfCounters) -> Dict[int, SimtCore]:
-        from repro.sim.warp import Warp  # local import to avoid a cycle in docs builds
+        from repro.sim.warp import FastWarp, Warp  # local import to avoid a cycle in docs builds
+
+        decoded = None
+        if self.engine == "fast":
+            from repro.sim.fastcore import FastSimtCore, decode_program
+            core_cls, warp_cls = FastSimtCore, FastWarp
+            cached = self._decode_cache.get(id(program))
+            if cached is None or cached[0] is not program:
+                if len(self._decode_cache) > 8:
+                    self._decode_cache.clear()
+                cached = (program, decode_program(program, self.config))
+                self._decode_cache[id(program)] = cached
+            decoded = cached[1]
+        else:
+            core_cls, warp_cls = SimtCore, Warp
 
         cores: Dict[int, SimtCore] = {}
         for launch in launches:
@@ -137,10 +188,16 @@ class Gpu:
                 )
             core = cores.get(launch.core_id)
             if core is None:
-                core = SimtCore(launch.core_id, self.config, program, self.hierarchy,
-                                self.memory, counters, tracer=self.tracer)
+                if decoded is not None:
+                    core = core_cls(launch.core_id, self.config, program,
+                                    self.hierarchy, self.memory, counters,
+                                    tracer=self.tracer, decoded=decoded)
+                else:
+                    core = core_cls(launch.core_id, self.config, program,
+                                    self.hierarchy, self.memory, counters,
+                                    tracer=self.tracer)
                 cores[launch.core_id] = core
-            warp = Warp(
+            warp = warp_cls(
                 warp_id=launch.warp_id,
                 lane_count=self.config.threads_per_warp,
                 num_registers=program.num_registers,

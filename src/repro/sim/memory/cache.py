@@ -36,7 +36,10 @@ class Cache:
         self.line_words = line_words
         self.ways = ways
         self.num_sets = size_words // (line_words * ways)
-        # each set maps line_address -> last-use tick
+        # Each set maps line_address -> last-use tick.  Dict insertion order
+        # doubles as the LRU order: every touch re-inserts the line at the
+        # end, so the victim is always the first key -- O(1) eviction with
+        # exactly the semantics of a min-scan over the ticks.
         self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
         self._tick = 0
         self.hits = 0
@@ -59,6 +62,7 @@ class Cache:
         self._tick += 1
         entry = self._set_for(line_address)
         if line_address in entry:
+            del entry[line_address]          # move to the LRU tail
             entry[line_address] = self._tick
             return True
         return False
@@ -68,11 +72,11 @@ class Cache:
         self._tick += 1
         entry = self._set_for(line_address)
         if line_address in entry:
+            del entry[line_address]          # move to the LRU tail
             entry[line_address] = self._tick
             return
         if len(entry) >= self.ways:
-            victim = min(entry, key=entry.get)
-            del entry[victim]
+            del entry[next(iter(entry))]     # first key = least recently used
             self.evictions += 1
         entry[line_address] = self._tick
         self.fills += 1

@@ -9,7 +9,7 @@ pays for.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 def coalesce(word_addresses: Sequence[int], line_words: int) -> "List[Tuple[int, List[int]]]":

@@ -67,6 +67,85 @@ class MemoryHierarchy:
         self.dram.access(now)
         return AccessResult(latency=1, level="store")
 
+    # ------------------------------------------------------------------ fast paths
+    # Same state transitions and statistics as load_line/store_line, with the
+    # per-level Cache.access/lookup call chain inlined and the per-line loop
+    # batched into one call.  Used by the fast engine; equivalence is covered
+    # by the differential and golden suites.
+
+    def load_lines_fast(self, core_id: int, lines, now: int) -> int:
+        """Batched :meth:`load_line` over coalesced ``lines``; returns the
+        warp's load latency (max arrival across the line requests, floor 1).
+
+        Line ``index`` is issued at ``now + index`` and arrives at
+        ``index + its latency`` -- the same arithmetic as the reference
+        core's per-line loop.  ``lines`` is any iterable of line indices in
+        request order (the fast engine passes its dedup dict).
+        """
+        config = self.config
+        l1 = self.l1[core_id]
+        l1_sets = l1._sets
+        l1_num_sets = l1.num_sets
+        l1_latency = config.l1_hit_latency
+        l2_latency = l1_latency + config.l2_hit_latency
+        latency = 1
+        for index, line_address in enumerate(lines):
+            l1._tick += 1
+            entry = l1_sets[line_address % l1_num_sets]
+            if line_address in entry:
+                del entry[line_address]      # move to the LRU tail
+                entry[line_address] = l1._tick
+                l1.hits += 1
+                arrival = index + l1_latency
+            else:
+                l1.misses += 1
+                l1.fill(line_address)
+                l2 = self.l2
+                l2._tick += 1
+                entry = l2._sets[line_address % l2.num_sets]
+                if line_address in entry:
+                    del entry[line_address]  # move to the LRU tail
+                    entry[line_address] = l2._tick
+                    l2.hits += 1
+                    arrival = index + l2_latency
+                else:
+                    l2.misses += 1
+                    l2.fill(line_address)
+                    completion = self.dram.access(now + index)
+                    arrival = index + l2_latency + (completion - now - index)
+            if arrival > latency:
+                latency = arrival
+        return latency
+
+    def store_lines_fast(self, core_id: int, lines, now: int) -> None:
+        """Batched :meth:`store_line` over coalesced ``lines`` (line ``index``
+        issued at ``now + index``, write-through, never stalls the warp)."""
+        l1 = self.l1[core_id]
+        l1_sets = l1._sets
+        l1_num_sets = l1.num_sets
+        l2 = self.l2
+        l2_sets = l2._sets
+        l2_num_sets = l2.num_sets
+        dram = self.dram
+        for index, line_address in enumerate(lines):
+            l1._tick += 1
+            entry = l1_sets[line_address % l1_num_sets]
+            if line_address in entry:
+                del entry[line_address]      # move to the LRU tail
+                entry[line_address] = l1._tick
+                l1.write_hits += 1
+            else:
+                l1.write_misses += 1
+            l2._tick += 1
+            entry = l2_sets[line_address % l2_num_sets]
+            if line_address in entry:
+                del entry[line_address]      # move to the LRU tail
+                entry[line_address] = l2._tick
+                l2.write_hits += 1
+            else:
+                l2.write_misses += 1
+            dram.access(now + index)
+
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
         """Drop all cached lines and reset DRAM queue state (between launches)."""

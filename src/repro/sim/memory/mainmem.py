@@ -56,6 +56,50 @@ class MainMemory:
         self._check(address)
         self._data[address] = value
 
+    # ------------------------------------------------------------------ vector access
+    def _check_batch(self, addresses: np.ndarray, what: str) -> None:
+        """Single-pass bounds check: the unsigned reinterpretation turns
+        negative addresses into huge values, so one ``max`` covers both ends."""
+        if len(addresses) and int(addresses.view(np.uint64).max()) >= self.size_words:
+            raise MemoryError_(
+                f"{what} touches addresses outside memory of {self.size_words} words"
+            )
+
+    def gather(self, addresses: np.ndarray) -> np.ndarray:
+        """Read one word per address (the vectorised load path of the fast engine).
+
+        Values are read from the same float64 backing store scalar
+        :meth:`read` uses, so gathered loads are bit-identical to per-lane
+        reads.  Out-of-bounds addresses raise like :meth:`read` does, though
+        the error reports the whole batch rather than the first bad lane.
+        ``addresses`` must be int64.
+        """
+        self._check_batch(addresses, "gather")
+        return self._data.take(addresses)
+
+    def scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Write one word per address (the vectorised store path).
+
+        Duplicate addresses resolve to the last lane's value, matching the
+        ascending-lane write order of the scalar path.  ``addresses`` must be
+        int64.
+        """
+        self._check_batch(addresses, "scatter")
+        self._data[addresses] = values
+
+    def gather_unchecked(self, addresses: np.ndarray, out=None) -> np.ndarray:
+        """:meth:`gather` without the bounds check.
+
+        Callers must have proven every address in range (the fast engine
+        checks the coalesced line list); ``out`` lets loads land directly in
+        a register row.
+        """
+        return self._data.take(addresses, out=out)
+
+    def scatter_unchecked(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """:meth:`scatter` without the bounds check (see above)."""
+        self._data[addresses] = values
+
     # ------------------------------------------------------------------ block access
     def read_block(self, address: int, count: int) -> np.ndarray:
         """Return a copy of ``count`` words starting at ``address``."""

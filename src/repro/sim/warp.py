@@ -10,7 +10,9 @@ scoreboard tracking in-flight register writes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.isa.registers import CsrFile
 
@@ -102,3 +104,71 @@ class Warp:
         state = "halted" if self.halted else ("barrier" if self.at_barrier else "running")
         return (f"Warp(id={self.warp_id}, pc={self.pc}, mask=0b{self.active_mask:b}, "
                 f"{state})")
+
+
+class FastWarp(Warp):
+    """Warp with a numpy register file, used by the ``fast`` engine.
+
+    Registers are stored transposed -- shape ``(num_registers, lane_count)``
+    float64 -- so one architectural register across all lanes is a contiguous
+    row and lane-parallel execution becomes a handful of numpy operations.
+    Register values are float64 in both layouts, so the two engines perform
+    bit-identical arithmetic.
+    """
+
+    __slots__ = ("_sel_cache", "_sel_cache_mask", "scratch", "lane_ids",
+                 "_d_cache", "_own_ready", "reg_ready", "rows", "bit_weights")
+
+    def __init__(self, warp_id: int, lane_count: int, num_registers: int,
+                 csr: CsrFile, active_lanes: Optional[int] = None):
+        super().__init__(warp_id, lane_count, num_registers, csr,
+                         active_lanes=active_lanes)
+        self.regs = np.zeros((num_registers, lane_count), dtype=np.float64)
+        #: Pre-built views of each register row: ``rows[r]`` is
+        #: ``regs[r]`` without paying ndarray ``__getitem__`` on every access
+        #: (list indexing is several times cheaper, and handlers touch 2-4
+        #: rows per issued instruction).
+        self.rows = list(self.regs)
+        #: Per-warp temporary row reused by multi-step operations (FMA).
+        self.scratch = np.zeros(lane_count, dtype=np.float64)
+        #: Lane indices as float64 (the vectorised THREAD_ID CSR read).
+        self.lane_ids = np.arange(lane_count, dtype=np.float64)
+        #: ``2.0 ** lane`` per lane: a bool-row dot product with this packs a
+        #: lane predicate into a mask integer in one numpy call.  Exact only
+        #: while the sum fits a float64 mantissa; wider warps use ``None``
+        #: and fall back to ``np.packbits``.
+        self.bit_weights = (
+            np.power(2.0, np.arange(lane_count)) if lane_count <= 52 else None
+        )
+        self._sel_cache_mask = -1
+        self._sel_cache: Union[slice, np.ndarray] = slice(0, 0)
+        #: Readiness cache consulted by the fast issue path: the decoded
+        #: tuple (``_Decoded.tup``) at the current PC plus the warp's own
+        #: ready cycle.  ``None`` means "recompute"; invalidated on
+        #: issue/barrier release.
+        self._d_cache = None
+        self._own_ready = 0
+        #: Flat scoreboard: cycle at which each register's pending write
+        #: completes (0 / a past cycle = no constraint).  Replaces the dict
+        #: scoreboard on the fast path -- a stale entry whose cycle has
+        #: passed never constrains, so entries are only ever overwritten.
+        self.reg_ready = [0] * num_registers
+
+    def selection(self) -> Union[None, slice, np.ndarray]:
+        """Numpy index selecting the active lanes (cached per mask value).
+
+        ``None`` means *every* lane is active (the common, convergent case):
+        handlers then operate on whole register rows without building any
+        index object.  A contiguous lane prefix (partial warps) is returned
+        as a ``slice`` so register rows index as cheap views; arbitrary
+        divergent masks fall back to an integer index array.
+        """
+        mask = self.active_mask
+        if mask != self._sel_cache_mask:
+            self._sel_cache_mask = mask
+            if mask & (mask + 1) == 0:
+                width = mask.bit_length()
+                self._sel_cache = None if width == self.lane_count else slice(0, width)
+            else:
+                self._sel_cache = np.fromiter(lanes_of(mask), dtype=np.intp)
+        return self._sel_cache

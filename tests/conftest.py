@@ -14,6 +14,22 @@ from repro.runtime.device import Device
 from repro.workloads.problems import make_problem
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the tests/golden/*.json performance-counter "
+             "snapshots instead of comparing against them (commit the "
+             "resulting diff together with the simulator change that "
+             "moved the counters)",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite the golden fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def tiny_config() -> ArchConfig:
     """The paper's Figure-1 machine: 1 core, 2 warps, 4 threads."""

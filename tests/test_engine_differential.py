@@ -1,0 +1,239 @@
+"""Differential test layer: the ``fast`` engine against the reference oracle.
+
+The fast engine (:mod:`repro.sim.fastcore` + the event-skipping loop in
+:meth:`repro.sim.gpu.Gpu._run_fast`) promises **bit-identical** results to the
+reference engine -- not statistically close, not within a tolerance:
+identical.  This suite holds it to that across every library kernel:
+
+* every workload x several machine shapes: identical cycles, identical
+  output buffers (``np.array_equal``, so NaNs and signed zeros would fail),
+  and every single :class:`~repro.sim.stats.PerfCounters` field;
+* identical *issue traces*: the event-skipping loop may jump the clock, but
+  it must never reorder or retime a single instruction issue;
+* identical campaign content hashes: the engine is a presentation/performance
+  concern, so a result cached under one engine must be served under the other.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.campaign.spec import JobSpec
+from repro.runtime.device import Device
+from repro.runtime.launcher import launch_kernel
+from repro.sim.config import ArchConfig
+from repro.sim.engine import DEFAULT_ENGINE, ENGINES, EngineError, resolve_engine
+from repro.trace.tracer import Tracer
+from repro.workloads.problems import available_problems, make_problem
+
+#: Machine shapes the differential grid runs on: the paper's Figure-1 machine,
+#: a multi-core mid-size shape, and a wide-warp shape (16 lanes exercises
+#: partial warps and divergent selections differently than 4 or 8).
+CONFIG_NAMES = ("1c2w4t", "4c4w8t", "2c8w16t")
+
+ALL_PROBLEMS = tuple(available_problems())
+
+
+def run_problem(problem_name, config_name, engine, tracer=None, local_size=None):
+    """One smoke-scale launch of ``problem_name`` under ``engine``."""
+    problem = make_problem(problem_name, scale="smoke", seed=0)
+    device = Device(ArchConfig.from_name(config_name), tracer=tracer, engine=engine)
+    return launch_kernel(device, problem.kernel, problem.arguments,
+                         problem.global_size, local_size=local_size)
+
+
+# ----------------------------------------------------------------------
+# the 9-kernel x 3-config grid
+# ----------------------------------------------------------------------
+def test_grid_covers_all_library_kernels():
+    """The differential grid below runs every library workload (9 of them)."""
+    assert len(ALL_PROBLEMS) == 9
+
+
+@pytest.mark.parametrize("config_name", CONFIG_NAMES)
+@pytest.mark.parametrize("problem_name", ALL_PROBLEMS)
+def test_engines_bit_identical(problem_name, config_name):
+    reference = run_problem(problem_name, config_name, "reference")
+    fast = run_problem(problem_name, config_name, "fast")
+
+    assert fast.cycles == reference.cycles
+    assert fast.sim_cycles == reference.sim_cycles
+    assert fast.overhead_cycles == reference.overhead_cycles
+    assert fast.call_cycles == reference.call_cycles
+    assert fast.local_size == reference.local_size
+    assert fast.num_calls == reference.num_calls
+
+    ref_counters = reference.counters.as_dict()
+    fast_counters = fast.counters.as_dict()
+    for field, ref_value in ref_counters.items():
+        assert fast_counters[field] == ref_value, (
+            f"{problem_name}/{config_name}: counter {field!r} diverged "
+            f"(reference={ref_value}, fast={fast_counters[field]})"
+        )
+
+    assert set(fast.outputs) == set(reference.outputs)
+    for name, ref_array in reference.outputs.items():
+        assert np.array_equal(fast.outputs[name], ref_array), (
+            f"{problem_name}/{config_name}: output buffer {name!r} diverged"
+        )
+
+
+@pytest.mark.parametrize("problem_name", ["vecadd", "sgemm", "gaussian"])
+def test_event_skipping_preserves_issue_order(problem_name):
+    """The fast loop may jump the clock but must not reorder a single issue.
+
+    Compared as full event tuples: cycle, core, warp, pc, opcode, mask and
+    call index of every instruction issue, in issue order.
+    """
+    traces = {}
+    for engine in ENGINES:
+        tracer = Tracer(max_events=500_000)
+        run_problem(problem_name, "4c4w8t", engine, tracer=tracer)
+        assert not tracer.truncated
+        traces[engine] = [dataclasses.astuple(event) for event in tracer.events]
+    assert traces["fast"] == traces["reference"]
+
+
+@pytest.mark.parametrize("local_size", [1, 3, 8, 64])
+def test_engines_agree_on_forced_local_sizes(local_size):
+    """Partial warps and many sequential calls (lws=1, lws=3) are covered too."""
+    reference = run_problem("vecadd", "1c2w4t", "reference", local_size=local_size)
+    fast = run_problem("vecadd", "1c2w4t", "fast", local_size=local_size)
+    assert fast.cycles == reference.cycles
+    assert fast.counters.as_dict() == reference.counters.as_dict()
+    assert np.array_equal(fast.outputs["c"], reference.outputs["c"])
+
+
+@pytest.mark.parametrize("problem_name", ["vecadd", "sgemm", "gaussian"])
+def test_engines_agree_under_gto_scheduler(problem_name):
+    """The non-round-robin issue path (priority order rebuilt per attempt)
+    must be equivalent too, not just the pre-filtered rr rotation tables."""
+    config = ArchConfig(cores=2, warps_per_core=4, threads_per_warp=8,
+                        warp_scheduler="gto")
+    problem = make_problem(problem_name, scale="smoke", seed=0)
+    results = {}
+    for engine in ENGINES:
+        device = Device(config, engine=engine)
+        results[engine] = launch_kernel(device, problem.kernel, problem.arguments,
+                                        problem.global_size)
+    reference, fast = results["reference"], results["fast"]
+    assert fast.cycles == reference.cycles
+    assert fast.counters.as_dict() == reference.counters.as_dict()
+    for name, ref_array in reference.outputs.items():
+        assert np.array_equal(fast.outputs[name], ref_array)
+
+
+def test_integer_ops_keep_exact_python_semantics():
+    """SHL/AND/F2I route through Python ints in BOTH engines: large shifts
+    must not wrap to int64 and non-finite F2I inputs must raise, identically.
+
+    Executed through the compiled fast-engine handlers directly (no library
+    kernel reaches these ranges, which is exactly why they are pinned here).
+    """
+    from repro.isa.instruction import Instruction
+    from repro.isa.opcodes import Opcode
+    from repro.isa.registers import CsrFile
+    from repro.sim.fastcore import _compile
+    from repro.sim.warp import FastWarp
+
+    config = ArchConfig(cores=1, warps_per_core=1, threads_per_warp=4)
+    csr = CsrFile(num_threads=4, num_warps=1, num_cores=1)
+
+    def fresh_warp():
+        return FastWarp(warp_id=0, lane_count=4, num_registers=8, csr=csr)
+
+    # SHL by 62: float(2 << 62) is exact; an int64 left shift would wrap
+    # negative.  The reference engine computes float(int(a) << int(b)).
+    warp = fresh_warp()
+    warp.regs[0][:] = 2.0
+    warp.regs[1][:] = 62.0
+    shl = _compile(Instruction(opcode=Opcode.SHL, dst=2, srcs=(0, 1)), config)
+    shl(None, warp, 0)
+    assert warp.regs[2][0] == float(2 << 62) > 0
+
+    # Negative shift counts raise (Python semantics), never silently zero.
+    warp = fresh_warp()
+    warp.regs[1][:] = -1.0
+    with pytest.raises(ValueError):
+        shl(None, warp, 0)
+
+    # F2I of NaN raises exactly like the reference's int(float('nan')).
+    warp = fresh_warp()
+    warp.regs[0][:] = float("nan")
+    f2i = _compile(Instruction(opcode=Opcode.F2I, dst=2, srcs=(0,)), config)
+    with pytest.raises(ValueError):
+        f2i(None, warp, 0)
+
+    # Integer DIV of inf raises (math.trunc semantics) instead of silently
+    # writing inf the way np.trunc would.
+    warp = fresh_warp()
+    warp.regs[0][:] = float("inf")
+    warp.regs[1][:] = 2.0
+    div = _compile(Instruction(opcode=Opcode.DIV, dst=2, srcs=(0, 1)), config)
+    with pytest.raises(OverflowError):
+        div(None, warp, 0)
+
+
+def test_repeated_fast_launches_are_stable():
+    """The fast engine's decode cache must not leak state across launches."""
+    first = run_problem("saxpy", "4c4w8t", "fast")
+    second = run_problem("saxpy", "4c4w8t", "fast")
+    assert first.cycles == second.cycles
+    assert first.counters.as_dict() == second.counters.as_dict()
+
+
+# ----------------------------------------------------------------------
+# engine selection plumbing
+# ----------------------------------------------------------------------
+def test_device_exposes_engine_name(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert Device(ArchConfig.from_name("1c2w4t")).engine == DEFAULT_ENGINE
+    assert Device(ArchConfig.from_name("1c2w4t"), engine="fast").engine == "fast"
+    # An explicit engine always beats the environment.
+    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    assert Device(ArchConfig.from_name("1c2w4t"), engine="reference").engine == "reference"
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(EngineError):
+        Device(ArchConfig.from_name("1c2w4t"), engine="warp-drive")
+
+
+def test_engine_environment_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    assert resolve_engine(None) == "fast"
+    assert Device(ArchConfig.from_name("1c2w4t")).engine == "fast"
+    monkeypatch.setenv("REPRO_ENGINE", "bogus")
+    with pytest.raises(EngineError):
+        resolve_engine(None)
+
+
+# ----------------------------------------------------------------------
+# campaign cache: the engine never enters the content hash
+# ----------------------------------------------------------------------
+def test_engine_absent_from_campaign_hash_payload():
+    """Results are engine-independent, so the engine must not shard the cache."""
+    spec = JobSpec(problem="vecadd", config=ArchConfig.from_name("4c4w8t"))
+    payload = spec.hash_payload()
+    flattened = str(payload)
+    assert "engine" not in payload
+    assert "engine" not in flattened
+    for engine in ENGINES:
+        assert engine not in flattened.replace("reproduce", "")
+
+
+def test_campaign_hash_and_results_identical_across_engines(monkeypatch):
+    """A worker running under either engine produces the same hash -> record."""
+    from repro.campaign.worker import run_spec
+
+    spec = JobSpec(problem="vecadd", config=ArchConfig.from_name("1c2w4t"),
+                   scale="smoke", seed=0)
+    records = {}
+    for engine in ENGINES:
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        records[engine] = run_spec(spec)
+    reference, fast = records["reference"], records["fast"]
+    assert fast.job_hash == reference.job_hash
+    assert fast.cycles == reference.cycles
+    assert fast.counters == reference.counters
