@@ -1,0 +1,68 @@
+"""Benchmark E7 -- the scenario layer: planning overhead and sink resume.
+
+Two measurements on the declarative layer itself (the simulated work is the
+same campaign engine the other benchmarks already time):
+
+* planning throughput: expanding the ``figure2`` grid (problems x configs x
+  strategies) into content-addressed :class:`JobSpec` objects, including the
+  strategy->lws resolution against real problem sizes.  This is the fixed
+  cost every ``repro scenario run`` pays before any simulation starts.
+* resume overhead: a completed ``scaling`` run re-executed against its JSONL
+  sink.  Every job is served from the sink, so the measured time is pure
+  planner + sink bookkeeping -- the price of crash-safety on the happy path.
+
+Results land in ``benchmarks/results/scenarios.md``.
+"""
+
+import time
+
+import pytest
+
+from repro.scenarios import Planner, REGISTRY, ResultSink, ScenarioContext
+
+from benchmarks.conftest import scale_from_env, write_result
+
+CONTEXT = ScenarioContext(scale="smoke", sweep="smoke")
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_scenario_planning_throughput(benchmark):
+    planner = Planner()
+    scenario = REGISTRY.get("figure2")
+
+    plan = benchmark(planner.plan, scenario, CONTEXT)
+
+    unique = planner.unique_jobs(plan)
+    seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["grid_points"] = len(plan)
+    benchmark.extra_info["unique_jobs"] = len(unique)
+    benchmark.extra_info["points_per_second"] = round(len(plan) / seconds, 1)
+    write_result("scenarios.md", "\n".join([
+        "# Scenario layer: planning + resume overhead",
+        "",
+        f"figure2 grid points  : {len(plan)} ({len(unique)} unique)",
+        f"planning time        : {seconds * 1000:.1f} ms "
+        f"({len(plan) / seconds:.0f} points/s)",
+        "",
+    ]))
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_scenario_resume_is_simulation_free(benchmark, tmp_path):
+    planner = Planner()
+    scenario = REGISTRY.get("scaling")
+    sink = ResultSink(tmp_path / "scaling.jsonl")
+
+    cold_started = time.perf_counter()
+    cold = planner.run(scenario, CONTEXT, sink=sink)
+    cold_seconds = time.perf_counter() - cold_started
+
+    resumed = benchmark(planner.run, scenario, CONTEXT, sink=sink)
+
+    assert resumed.stats.executed == 0, "resume must not re-simulate"
+    assert resumed.stats.resumed == cold.stats.unique
+    warm_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["jobs"] = cold.stats.unique
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["resume_seconds"] = round(warm_seconds, 4)
+    benchmark.extra_info["scale"] = scale_from_env()

@@ -1,16 +1,19 @@
 #!/usr/bin/env python
-"""Figure-2 style sweep: compare the three mappings across machine shapes.
+"""Figure-2 style sweep, driven through the declarative scenario layer.
 
-Runs a reduced version of the paper's 450-configuration validation: every
-workload is executed under the naive (lws=1), fixed (lws=32) and
-hardware-aware mapping on a grid of machine configurations, and the per-kernel
-ratio statistics (average / %-worse / worst) are printed in the same format as
-the paper's Figure-2 data tables.
+Runs a reduced version of the paper's 450-configuration validation as the
+registered ``figure2`` scenario: every workload is executed under the naive
+(lws=1), fixed (lws=32) and hardware-aware mapping on a grid of machine
+configurations, the per-kernel ratio statistics are printed in the same
+format as the paper's Figure-2 data tables, and every completed grid point
+streams to a JSONL sink -- interrupt the sweep and re-run this script, and
+only the remaining points are simulated.
 
 Environment knobs:
     REPRO_SWEEP   = smoke | bench | paper     (default: smoke, 8 configs)
     REPRO_SCALE   = smoke | bench | paper     (default: bench problem sizes)
     REPRO_KERNELS = comma-separated problem names (default: the math kernels)
+    REPRO_SCENARIO_DIR = sink directory      (default: ./scenario-runs)
 
 Run with:  python examples/architecture_sweep.py
 """
@@ -19,48 +22,44 @@ import os
 import time
 
 from repro.experiments.claims import evaluate_claims
-from repro.experiments.configs import sweep_by_name
-from repro.experiments.figure2 import run_figure2
-from repro.experiments.report import render_figure2_table, render_speedup_summary
-from repro.workloads.problems import PAPER_PROBLEM_NAMES
+from repro.scenarios import Planner, REGISTRY, ResultSink, ScenarioContext, default_sink_path
+from repro.scenarios.library import figure2_result_from_run
 
 
 def main() -> None:
     sweep_name = os.environ.get("REPRO_SWEEP", "smoke")
     scale = os.environ.get("REPRO_SCALE", "bench")
     kernels_env = os.environ.get("REPRO_KERNELS")
+    problems = None
     if kernels_env:
-        problems = [name.strip() for name in kernels_env.split(",") if name.strip()]
-    else:
-        problems = ["vecadd", "relu", "saxpy", "sgemm", "knn"]
+        problems = tuple(name.strip() for name in kernels_env.split(",") if name.strip())
 
-    configs = sweep_by_name(sweep_name)
-    print(f"sweep     : {sweep_name} ({len(configs)} configurations, "
-          f"{configs[0].name} .. {configs[-1].name})")
-    print(f"scale     : {scale}")
-    print(f"workloads : {', '.join(problems)}")
+    scenario = REGISTRY.get("figure2")
+    context = ScenarioContext(scale=scale, sweep=sweep_name, problems=problems)
+    planner = Planner()
+    plan = planner.plan(scenario, context)
+    sink = ResultSink(default_sink_path("figure2-example", scale))
+
+    print(f"scenario  : {scenario.name} -- {scenario.description}")
+    print(f"sweep     : {sweep_name}, scale: {scale}")
+    print(f"grid      : {len(plan)} points ({len(planner.unique_jobs(plan))} unique)")
+    print(f"sink      : {sink.path} (delete it to start fresh)")
     print()
 
     started = time.perf_counter()
-    done = [0]
-    total = len(problems) * len(configs) * 3
 
-    def progress(problem, config, strategy, cycles):
-        done[0] += 1
-        if done[0] % 25 == 0:
-            print(f"  ... {done[0]}/{total} measurements "
+    def progress(done, total, outcome):
+        if done % 25 == 0:
+            print(f"  ... {done}/{total} fresh measurements "
                   f"({time.perf_counter() - started:.0f}s elapsed)")
 
-    result = run_figure2(problems, configs, scale=scale, progress=progress)
-    elapsed = time.perf_counter() - started
-    print(f"\ncompleted {total} measurements in {elapsed:.1f}s\n")
+    run = planner.run(scenario, context, sink=sink, progress=progress, plan=plan)
+    print(f"{run.stats.render()}\n")
 
-    print(render_figure2_table(result))
-    print()
-    print(render_speedup_summary(result))
+    print(run.report())
     print()
     print("Section-3 claims (paper value vs measured):")
-    print(evaluate_claims(result).render())
+    print(evaluate_claims(figure2_result_from_run(run)).render())
 
 
 if __name__ == "__main__":

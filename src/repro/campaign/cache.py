@@ -1,8 +1,12 @@
 """Persistent, content-addressed result cache.
 
 Results are stored as one JSON object per line in ``results.jsonl`` under the
-cache directory -- append-only, human greppable, and robust to partial writes
-(corrupt lines are skipped on load).  Every record carries the simulator
+cache directory -- append-only between loads, human greppable, and robust to
+partial writes (corrupt lines are skipped on load).  When a load finds the
+same hash on several lines (concurrent campaigns can both simulate a point
+before either sees the other's write), the journal is compacted in place --
+rewritten atomically keeping the last record per hash -- so duplicates never
+accumulate.  Every record carries the simulator
 version and cache schema version it was produced under; records from a
 different simulator release are ignored at load time, so bumping
 ``repro.__version__`` invalidates the whole cache without touching the file.
@@ -22,6 +26,11 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.campaign.journal import (
+    is_current_record,
+    iter_journal_lines,
+    terminate_partial_tail,
+)
 from repro.campaign.result import JobResult
 from repro.campaign.spec import CACHE_SCHEMA_VERSION, JobSpec, simulator_version
 
@@ -51,18 +60,30 @@ class CacheStats:
     hits: int
     misses: int
     size_bytes: int
+    journal_lines: int = 0      # lines in the journal after the last load
+    compacted_lines: int = 0    # superseded/corrupt lines removed on load
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def bytes_per_entry(self) -> float:
+        """Average on-disk footprint of one usable entry."""
+        return self.size_bytes / self.entries if self.entries else 0.0
+
     def render(self) -> str:
         """Multi-line human readable summary (used by ``repro campaign status``)."""
+        compacted = (f" (compacted {self.compacted_lines} superseded/corrupt "
+                     f"line(s) on load)" if self.compacted_lines else "")
         return "\n".join([
             f"cache directory : {self.path}",
             f"usable entries  : {self.entries} (+{self.stale_entries} stale)",
-            f"journal size    : {self.size_bytes} bytes",
+            f"journal lines   : {self.journal_lines}{compacted}",
+            f"journal size    : {self.size_bytes} bytes "
+            f"({self.size_bytes / 1024:.1f} KiB, "
+            f"{self.bytes_per_entry:.0f} B/entry)",
             f"session hits    : {self.hits}",
             f"session misses  : {self.misses}",
             f"session hit rate: {self.hit_rate:.0%}",
@@ -77,6 +98,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self._stale = 0
+        self._compacted = 0
+        self._journal_lines = 0
+        self._tail_checked = False
         self._index: Dict[str, JobResult] = {}
         self._load()
 
@@ -86,25 +110,83 @@ class ResultCache:
         return self.directory / CACHE_FILE_NAME
 
     def _load(self) -> None:
-        """Read the journal, indexing records usable under this simulator."""
+        """Read the journal, indexing records usable under this simulator.
+
+        The journal is append-only, so the same hash can appear several times
+        (e.g. two concurrent campaigns simulating the same fresh point); the
+        last record per hash wins, and when superseded duplicates are found
+        the journal is compacted -- rewritten atomically with one line per
+        hash -- instead of growing forever.  Corrupt lines never survive a
+        compaction; they are only preserved (and counted as stale) when the
+        journal needs no rewrite.
+        """
         self._index.clear()
         self._stale = 0
+        self._compacted = 0
+        self._journal_lines = 0
         if not self.journal_path.exists():
             return
-        current = simulator_version()
-        for line in self.journal_path.read_text().splitlines():
-            line = line.strip()
-            if not line:
+        # Keyed by (hash, simulator, schema): in normal operation the hash
+        # already embeds the version (two releases never collide on a hash),
+        # but a tampered or hand-merged journal must not let a stale record
+        # shadow -- and compaction then delete -- a usable one.
+        kept: Dict[tuple, Dict] = {}
+        superseded = 0
+        corrupt = 0
+        snapshot_size = self.journal_path.stat().st_size
+        for record in iter_journal_lines(self.journal_path):
+            if record is None or "hash" not in record:
+                corrupt += 1       # half-written line: count it, keep loading
                 continue
+            key = (record["hash"], record.get("simulator"), record.get("schema"))
+            if key in kept:
+                superseded += 1
+                del kept[key]                 # re-insert so the last write wins
+            kept[key] = record
+        for (job_hash, _, _), record in kept.items():
             try:
-                record = json.loads(line)
-                if (record.get("schema") != CACHE_SCHEMA_VERSION
-                        or record.get("simulator") != current):
+                if not is_current_record(record):
                     self._stale += 1
                     continue
-                self._index[record["hash"]] = JobResult.from_dict(record["result"])
+                self._index[job_hash] = JobResult.from_dict(record["result"])
             except (KeyError, TypeError, ValueError):
-                self._stale += 1   # corrupt line: count it, keep loading
+                self._stale += 1
+        if superseded and self._compact(kept.values(), snapshot_size):
+            self._compacted = superseded + corrupt
+            self._journal_lines = len(kept)
+        else:
+            # No rewrite happened (nothing superseded, or compaction aborted):
+            # every physical line is still in the journal.
+            self._stale += corrupt
+            self._journal_lines = len(kept) + corrupt + superseded
+
+    def _compact(self, records, snapshot_size: int) -> bool:
+        """Atomically rewrite the journal with one line per (hash, version).
+
+        Compaction is strictly best-effort: the cache is shared between
+        processes and the journal is otherwise append-only, so rewriting from
+        a snapshot could drop a record another campaign appended after we
+        read the file.  The window is narrowed by re-checking the journal
+        size immediately before the atomic replace -- if it grew, skip and
+        let the next load retry -- and *any* filesystem error (read-only
+        cache directory, journal cleared concurrently) aborts the rewrite
+        instead of failing the load.  A record lost to the residual race
+        costs one re-simulation, never a wrong result.
+        """
+        tmp_path = self.journal_path.with_name(
+            f"{CACHE_FILE_NAME}.{os.getpid()}.tmp")
+        try:
+            with tmp_path.open("w") as tmp:
+                for record in records:
+                    tmp.write(json.dumps(record, sort_keys=True) + "\n")
+            if self.journal_path.stat().st_size != snapshot_size:
+                tmp_path.unlink()             # someone appended meanwhile
+                return False
+            os.replace(tmp_path, self.journal_path)
+            return True
+        except OSError:
+            tmp_path.unlink(missing_ok=True)
+            return False
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -139,8 +221,22 @@ class ResultCache:
             "result": result.to_dict(),
         }
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._ensure_trailing_newline()
         with self.journal_path.open("a") as journal:
             journal.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal_lines += 1
+
+    def _ensure_trailing_newline(self) -> None:
+        """Terminate a half-written tail line so an append cannot merge into it.
+
+        The partial line already counted as a (corrupt) journal line in
+        ``_load``; terminating it does not add one.  Checked once per
+        instance.
+        """
+        if self._tail_checked:
+            return
+        self._tail_checked = True
+        terminate_partial_tail(self.journal_path)
 
     def clear(self) -> int:
         """Delete the journal; returns how many usable entries were dropped."""
@@ -149,6 +245,8 @@ class ResultCache:
             self.journal_path.unlink()
         self._index.clear()
         self._stale = 0
+        self._compacted = 0
+        self._journal_lines = 0
         return dropped
 
     def stats(self) -> CacheStats:
@@ -161,4 +259,6 @@ class ResultCache:
             hits=self.hits,
             misses=self.misses,
             size_bytes=size,
+            journal_lines=self._journal_lines,
+            compacted_lines=self._compacted,
         )

@@ -1,0 +1,68 @@
+"""Shared JSONL-journal helpers.
+
+Both append-only journals in the repository -- the campaign
+:class:`~repro.campaign.cache.ResultCache` and the scenario
+:class:`~repro.scenarios.sink.ResultSink` -- share their on-disk behaviour:
+one JSON object per line, corrupt lines tolerated (a killed writer's
+half-written tail), and records filtered by cache schema and simulator
+version on load.  That behaviour lives here once so the two journals cannot
+diverge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.campaign.spec import CACHE_SCHEMA_VERSION, simulator_version
+
+
+def iter_journal_lines(path: Path) -> Iterator[Optional[Dict]]:
+    """Yield one parsed JSON object per journal line, ``None`` when corrupt.
+
+    Blank lines are skipped entirely; a line that is not a JSON object (the
+    classic half-written tail of a dead process) yields ``None`` so callers
+    can count it without crashing.
+    """
+    if not path.exists():
+        return
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            yield None
+            continue
+        yield record if isinstance(record, dict) else None
+
+
+def is_current_record(record: Dict) -> bool:
+    """True when ``record`` was written under this schema and simulator.
+
+    Records from other versions are unusable (the cycle model may have
+    changed) but are preserved on disk -- bumping ``repro.__version__``
+    invalidates without rewriting.
+    """
+    return (record.get("schema") == CACHE_SCHEMA_VERSION
+            and record.get("simulator") == simulator_version())
+
+
+def terminate_partial_tail(path: Path) -> None:
+    """Append a newline if ``path`` ends mid-line (a killed writer's tail).
+
+    No-op when the file is missing, empty, or already newline-terminated.
+    Callers should invoke this once before their first append to an existing
+    journal.
+    """
+    if not path.exists() or path.stat().st_size == 0:
+        return
+    with path.open("rb") as journal:
+        journal.seek(-1, os.SEEK_END)
+        ends_clean = journal.read(1) == b"\n"
+    if not ends_clean:
+        with path.open("a") as journal:
+            journal.write("\n")

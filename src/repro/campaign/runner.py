@@ -119,6 +119,17 @@ class CampaignRunner:
         self.cache = cache
         self._mp_context = mp_context
 
+    def without_cache(self) -> "CampaignRunner":
+        """This runner, minus the result cache (same workers and context).
+
+        Used by callers whose measurement is wall-clock time -- a cache-served
+        point would time nothing -- e.g. the ``engine-compare`` scenario.
+        """
+        if self.cache is None:
+            return self
+        return CampaignRunner(workers=self.workers, cache=None,
+                              mp_context=self._mp_context)
+
     # ------------------------------------------------------------------
     def run(self, campaign: Union[Campaign, Iterable[JobSpec]],
             progress: Optional[ProgressCallback] = None) -> CampaignOutcome:

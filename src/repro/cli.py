@@ -10,6 +10,10 @@ Exposes the library's main workflows without writing Python::
     python -m repro campaign run --kernels vecadd --sweep smoke --workers 4
     python -m repro campaign status
     python -m repro campaign clear-cache
+    python -m repro scenario list
+    python -m repro scenario run scaling --scale smoke --workers 4
+    python -m repro scenario resume scaling --scale smoke
+    python -m repro scenario report scaling --scale smoke
     python -m repro --engine fast run sgemm --config 4c8w8t
 
 ``--engine {reference,fast}`` (or the ``REPRO_ENGINE`` environment variable)
@@ -19,12 +23,15 @@ enforced by ``tests/test_engine_differential.py`` -- so the choice never
 affects results, only wall-clock time.
 
 ``info`` answers the runtime question the paper poses (what lws should this
-launch use on this machine), ``run`` executes a single workload under a chosen
-or runtime-selected mapping, ``figure1``/``sweep``/``report`` drive the paper's
-experiments and render their tables, and ``campaign`` runs the same sweeps
-through the campaign engine: parallel workers plus a persistent,
-content-addressed result cache (``~/.cache/repro`` by default, overridden by
-the ``REPRO_CACHE_DIR`` environment variable or ``--cache-dir``).
+launch use on this machine) and ``run`` executes a single workload under a
+chosen or runtime-selected mapping.  Every experiment is a registered
+*scenario* (``repro scenario list``) executed by the declarative planner:
+grids expand to content-addressed jobs, results stream to a JSONL sink (so
+interrupted runs resume), and the campaign engine supplies parallel workers
+plus the persistent result cache (``~/.cache/repro`` by default, overridden
+by ``REPRO_CACHE_DIR`` or ``--cache-dir``).  ``figure1``, ``sweep``,
+``report`` and ``campaign run`` are thin aliases over the ported paper
+scenarios, kept for familiarity.
 """
 
 from __future__ import annotations
@@ -32,24 +39,73 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.campaign.cache import CACHE_DIR_ENV, ResultCache
 from repro.campaign.runner import CampaignRunner
 from repro.core.advisor import TuningAdvisor
 from repro.core.optimizer import optimal_local_size
 from repro.experiments.claims import evaluate_claims
-from repro.experiments.configs import sweep_by_name
 from repro.experiments.figure1 import run_figure1
-from repro.experiments.figure2 import Figure2Result, run_figure2
-from repro.experiments.report import render_figure2_table, render_speedup_summary
+from repro.experiments.figure2 import Figure2Result
+from repro.experiments.report import (
+    render_figure2_table,
+    render_speedup_summary,
+    render_table,
+)
 from repro.runtime.device import Device
 from repro.runtime.launcher import launch_kernel
+from repro.scenarios import (
+    REGISTRY,
+    Planner,
+    ResultSink,
+    ScenarioContext,
+    ScenarioError,
+    UnknownScenarioError,
+    default_sink_path,
+)
+from repro.scenarios.library import figure2_result_from_run
 from repro.sim.config import ArchConfig
 from repro.sim.engine import DEFAULT_ENGINE, ENGINE_ENV, ENGINES
 from repro.trace.render import render_issue_timeline, render_summary
 from repro.trace.tracer import Tracer
 from repro.workloads.problems import available_problems, make_problem
+
+
+# ----------------------------------------------------------------------
+# Shared option groups (argparse parent parsers)
+# ----------------------------------------------------------------------
+def _grid_options() -> argparse.ArgumentParser:
+    """The grid flags shared by ``sweep``, ``campaign run`` and ``scenario run``.
+
+    One definition instead of three copy-pasted blocks: every command that
+    shapes an experiment grid accepts the same ``--kernels/--sweep/--scale/
+    --seed/--exact-calls`` vocabulary.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--kernels", default="vecadd,relu,saxpy,sgemm,knn",
+                        help="comma-separated workload names")
+    parent.add_argument("--sweep", default="smoke", choices=("smoke", "bench", "paper"),
+                        help="hardware-configuration grid")
+    parent.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"),
+                        help="problem sizes")
+    parent.add_argument("--seed", type=int, default=0,
+                        help="single RNG seed threaded into every grid point")
+    parent.add_argument("--exact-calls", action="store_true",
+                        help="simulate every sequential kernel call (no extrapolation)")
+    return parent
+
+
+def _cache_options(no_cache: bool = True) -> argparse.ArgumentParser:
+    """The result-cache flags shared by ``campaign`` and ``scenario`` commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--cache-dir", default=None,
+                        help=f"cache directory (default: $"
+                             f"{CACHE_DIR_ENV} or ~/.cache/repro)")
+    if no_cache:
+        parent.add_argument("--no-cache", action="store_true",
+                            help="simulate every point fresh, persist nothing")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +123,8 @@ def build_parser() -> argparse.ArgumentParser:
              "'fast' is simply quicker.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    grid = _grid_options()
+    cache = _cache_options()
 
     info = sub.add_parser("info", help="describe a machine and the Eq.-1 mapping for a launch")
     info.add_argument("--config", default="4c8w8t", help="machine shape, e.g. 4c8w8t")
@@ -85,15 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure1.add_argument("--length", type=int, default=128)
     figure1.add_argument("--lws", type=int, nargs="*", default=[1, 16, 32, 64])
 
-    sweep = sub.add_parser("sweep", help="run a Figure-2 style sweep")
-    sweep.add_argument("--kernels", default="vecadd,relu,saxpy,sgemm,knn",
-                       help="comma-separated workload names")
-    sweep.add_argument("--sweep", default="smoke", choices=("smoke", "bench", "paper"))
-    sweep.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
-    sweep.add_argument("--seed", type=int, default=0,
-                       help="single RNG seed threaded into every grid point")
-    sweep.add_argument("--exact-calls", action="store_true",
-                       help="simulate every sequential kernel call (no extrapolation)")
+    sweep = sub.add_parser("sweep", parents=[grid],
+                           help="run a Figure-2 style sweep (alias of the "
+                                "'figure2' scenario, without a sink)")
     sweep.add_argument("-o", "--output", default=None, help="write raw records to a JSON file")
 
     report = sub.add_parser("report", help="render the Figure-2 table from a saved sweep")
@@ -114,36 +166,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
-    crun = campaign_sub.add_parser("run", help="run a Figure-2 style sweep as a campaign")
-    crun.add_argument("--kernels", default="vecadd,relu,saxpy,sgemm,knn",
-                      help="comma-separated workload names")
-    crun.add_argument("--sweep", default="smoke", choices=("smoke", "bench", "paper"))
-    crun.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
-    crun.add_argument("--seed", type=int, default=0,
-                      help="single RNG seed threaded into every job spec")
+    crun = campaign_sub.add_parser(
+        "run", parents=[grid, cache],
+        help="run a Figure-2 style sweep as a campaign (alias of the "
+             "'figure2' scenario)")
     crun.add_argument("--workers", type=int, default=1,
                       help="worker processes for fresh points (default 1)")
-    crun.add_argument("--exact-calls", action="store_true",
-                      help="simulate every sequential kernel call (no extrapolation)")
-    crun.add_argument("--cache-dir", default=None,
-                      help=f"cache directory (default: $"
-                           f"{CACHE_DIR_ENV} or ~/.cache/repro)")
-    crun.add_argument("--no-cache", action="store_true",
-                      help="simulate every point fresh, persist nothing")
     crun.add_argument("--claims", action="store_true",
                       help="also evaluate the Section-3 claims")
     crun.add_argument("-o", "--output", default=None,
                       help="write raw records to a JSON file")
 
-    cstatus = campaign_sub.add_parser("status", help="show the result-cache state")
-    cstatus.add_argument("--cache-dir", default=None,
-                         help=f"cache directory (default: $"
-                              f"{CACHE_DIR_ENV} or ~/.cache/repro)")
+    cstatus = campaign_sub.add_parser("status", parents=[_cache_options(no_cache=False)],
+                                      help="show the result-cache state")
+    cclear = campaign_sub.add_parser("clear-cache", parents=[_cache_options(no_cache=False)],
+                                     help="delete the persistent result cache")
+    del cstatus, cclear
 
-    cclear = campaign_sub.add_parser("clear-cache", help="delete the persistent result cache")
-    cclear.add_argument("--cache-dir", default=None,
-                        help=f"cache directory (default: $"
-                             f"{CACHE_DIR_ENV} or ~/.cache/repro)")
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative experiment scenarios: list, run, resume, report",
+        description="Every experiment is a registered scenario: a declarative "
+                    "grid (problems x configs x strategies x engines x seeds) "
+                    "plus an analysis hook.  The planner expands the grid into "
+                    "content-addressed jobs, executes them through the "
+                    "campaign engine, and streams one JSONL record per "
+                    "completed job to a sink -- killed runs resume from the "
+                    "sink, executing only the remaining jobs.",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    slist = scenario_sub.add_parser("list", help="list every registered scenario")
+    del slist
+
+    for verb, help_text in (
+            ("run", "execute a scenario (resumes from its sink unless --fresh)"),
+            ("resume", "continue an interrupted scenario run from its sink")):
+        sparser = scenario_sub.add_parser(verb, parents=[grid, cache], help=help_text)
+        sparser.set_defaults(kernels=None, sweep=None, scale=None)
+        sparser.add_argument("name", help="registered scenario name (see 'scenario list')")
+        sparser.add_argument("--workers", type=int, default=1,
+                             help="worker processes for fresh points (default 1)")
+        sparser.add_argument("--sink", default=None,
+                             help="JSONL sink path (default: "
+                                  "scenario-runs/<name>-<scale>.jsonl, "
+                                  "honouring $REPRO_SCENARIO_DIR)")
+        if verb == "run":
+            sparser.add_argument("--fresh", action="store_true",
+                                 help="discard the existing sink and start over")
+
+    sreport = scenario_sub.add_parser(
+        "report", parents=[grid],
+        help="render a scenario's analysis from its sink, without executing")
+    sreport.set_defaults(kernels=None, sweep=None, scale=None)
+    sreport.add_argument("name", help="registered scenario name")
+    sreport.add_argument("--sink", default=None,
+                         help="JSONL sink path (default: "
+                              "scenario-runs/<name>-<scale>.jsonl)")
     return parser
 
 
@@ -194,13 +273,27 @@ def _cmd_figure1(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+def _grid_context(args) -> ScenarioContext:
+    """A :class:`ScenarioContext` from the shared grid flags."""
+    kernels = None
+    if getattr(args, "kernels", None):
+        kernels = tuple(name.strip() for name in args.kernels.split(",") if name.strip())
+    return ScenarioContext(
+        scale=args.scale if args.scale else "bench",
+        seed=args.seed,
+        exact_calls=args.exact_calls,
+        problems=kernels,
+        sweep=args.sweep,
+    )
+
+
 def _run_and_render_sweep(args, runner=None, claims: bool = False) -> "Figure2Result":
-    """Shared body of ``sweep`` and ``campaign run``: execute, print, save."""
-    kernels = [name.strip() for name in args.kernels.split(",") if name.strip()]
-    configs = sweep_by_name(args.sweep)
-    limit = None if args.exact_calls else 3
-    result = run_figure2(kernels, configs, scale=args.scale, seed=args.seed,
-                         call_simulation_limit=limit, runner=runner)
+    """Shared body of ``sweep`` and ``campaign run``: the figure2 scenario,
+    executed without a sink, rendered like the paper's data tables."""
+    planner = Planner(runner=runner)
+    run = planner.run(REGISTRY.get("figure2"), _grid_context(args))
+    result = figure2_result_from_run(run)
     print(render_figure2_table(result))
     print()
     print(render_speedup_summary(result))
@@ -258,6 +351,77 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+#: Comma-separated modules imported before scenario commands run, so custom
+#: scenarios registered at import time appear in list/run/resume/report.
+SCENARIO_MODULES_ENV = "REPRO_SCENARIO_MODULES"
+
+
+def _import_scenario_modules() -> None:
+    import importlib
+
+    for module in os.environ.get(SCENARIO_MODULES_ENV, "").split(","):
+        module = module.strip()
+        if module:
+            importlib.import_module(module)
+
+
+def _cmd_scenario(args) -> int:
+    _import_scenario_modules()
+    if args.scenario_command == "list":
+        rows = [[scenario.name, scenario.default_scale, scenario.description]
+                for scenario in REGISTRY]
+        print(render_table(["scenario", "default scale", "description"], rows))
+        print(f"\n{len(REGISTRY)} scenario(s) registered; run one with "
+              f"`repro scenario run <name> [--scale smoke|bench|paper]`")
+        return 0
+
+    try:
+        scenario = REGISTRY.get(args.name)
+    except UnknownScenarioError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    scale = args.scale if args.scale else scenario.default_scale
+    context = _grid_context(args)
+    if args.scale is None:
+        context = context.with_scale(scale)
+    sink = ResultSink(args.sink if args.sink else default_sink_path(scenario.name, scale))
+
+    if args.scenario_command == "report":
+        planner = Planner()
+        try:
+            run = planner.load(scenario, context, sink=sink)
+        except ScenarioError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(run.report())
+        return 0
+
+    if args.scenario_command == "resume" and not sink.exists():
+        print(f"error: no sink at {sink.path} to resume from; "
+              f"start with `repro scenario run {scenario.name}`", file=sys.stderr)
+        return 1
+
+    # Non-cacheable scenarios (wall-time measurements) never touch the cache;
+    # skip even loading its journal.
+    use_cache = scenario.cacheable and not args.no_cache
+    cache = ResultCache(args.cache_dir) if use_cache else None
+    runner = CampaignRunner(workers=args.workers, cache=cache)
+    planner = Planner(runner=runner)
+    fresh = bool(getattr(args, "fresh", False))
+    try:
+        run = planner.run(scenario, context, sink=sink, fresh=fresh)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"scenario {scenario.name!r} ({scale}): {run.stats.render()}")
+    print(f"sink: {sink.path}")
+    print()
+    print(run.report())
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
@@ -265,6 +429,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "report": _cmd_report,
     "campaign": _cmd_campaign,
+    "scenario": _cmd_scenario,
 }
 
 

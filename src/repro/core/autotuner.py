@@ -20,7 +20,14 @@ from repro.sim.config import ArchConfig
 
 @dataclass(frozen=True)
 class ExhaustiveSearchResult:
-    """Outcome of brute-forcing the lws space for one launch."""
+    """Outcome of brute-forcing the lws space for one launch.
+
+    ``truncated``/``dropped_candidates`` make an under-searched oracle
+    explicit: when the candidate set was capped (``max_candidates``), the
+    "oracle" gap is really a lower bound -- a dropped candidate could have
+    been faster -- and any report quoting ``eq1_gap`` can now say so instead
+    of silently presenting a subsampled search as exhaustive.
+    """
 
     config_name: str
     global_size: int
@@ -29,6 +36,8 @@ class ExhaustiveSearchResult:
     best_cycles: int
     eq1_local_size: int
     eq1_cycles: int
+    truncated: bool = False
+    dropped_candidates: Tuple[int, ...] = ()
 
     @property
     def eq1_gap(self) -> float:
@@ -37,14 +46,34 @@ class ExhaustiveSearchResult:
             return 1.0
         return self.eq1_cycles / self.best_cycles
 
+    @property
+    def search_coverage(self) -> float:
+        """Fraction of the intended candidate set that was actually searched."""
+        total = len(self.cycles_by_lws) + len(self.dropped_candidates)
+        return len(self.cycles_by_lws) / total if total else 1.0
+
     def ranked(self) -> List[Tuple[int, int]]:
         """(lws, cycles) pairs sorted from fastest to slowest."""
         return sorted(self.cycles_by_lws.items(), key=lambda item: item[1])
 
 
-def default_candidates(global_size: int, config: ArchConfig,
-                       max_candidates: int = 24) -> List[int]:
-    """A reasonable lws candidate set: powers of two, the Eq.-1 value and gws itself."""
+@dataclass(frozen=True)
+class CandidateSet:
+    """The lws candidates to search, with the truncation made explicit."""
+
+    candidates: Tuple[int, ...]
+    truncated: bool = False
+    dropped: Tuple[int, ...] = ()        # candidates the cap excluded
+
+
+def candidate_set(global_size: int, config: ArchConfig,
+                  max_candidates: int = 24) -> CandidateSet:
+    """The default lws candidate set: powers of two, the Eq.-1 value, gws.
+
+    When the full set exceeds ``max_candidates`` it is subsampled (extremes
+    and the Eq.-1 value always survive) and the result says so: ``truncated``
+    is set and ``dropped`` lists exactly which candidates were not searched.
+    """
     candidates = {1, global_size}
     value = 1
     while value < global_size:
@@ -53,12 +82,22 @@ def default_candidates(global_size: int, config: ArchConfig,
     candidates.add(optimal_local_size(global_size, config))
     ordered = sorted(c for c in candidates if 1 <= c <= global_size)
     if len(ordered) <= max_candidates:
-        return ordered
+        return CandidateSet(candidates=tuple(ordered))
     # Keep the extremes and a uniform subsample in between.
     step = (len(ordered) - 1) / (max_candidates - 1)
     picked = {ordered[round(i * step)] for i in range(max_candidates)}
     picked.add(optimal_local_size(global_size, config))
-    return sorted(picked)
+    return CandidateSet(
+        candidates=tuple(sorted(picked)),
+        truncated=True,
+        dropped=tuple(c for c in ordered if c not in picked),
+    )
+
+
+def default_candidates(global_size: int, config: ArchConfig,
+                       max_candidates: int = 24) -> List[int]:
+    """The candidate values of :func:`candidate_set` (compatibility shim)."""
+    return list(candidate_set(global_size, config, max_candidates).candidates)
 
 
 def exhaustive_search(device, kernel, arguments: Mapping[str, object], global_size,
@@ -72,8 +111,11 @@ def exhaustive_search(device, kernel, arguments: Mapping[str, object], global_si
     from repro.runtime.ndrange import NDRange
 
     flat_gws = NDRange(global_size, 1).global_size
-    lws_candidates = list(candidates) if candidates is not None else default_candidates(
-        flat_gws, device.config)
+    if candidates is not None:
+        chosen = CandidateSet(candidates=tuple(candidates))
+    else:
+        chosen = candidate_set(flat_gws, device.config)
+    lws_candidates = list(chosen.candidates)
     eq1 = optimal_local_size(flat_gws, device.config)
     if eq1 not in lws_candidates:
         lws_candidates.append(eq1)
@@ -92,4 +134,6 @@ def exhaustive_search(device, kernel, arguments: Mapping[str, object], global_si
         best_cycles=cycles_by_lws[best_lws],
         eq1_local_size=eq1,
         eq1_cycles=cycles_by_lws[eq1],
+        truncated=chosen.truncated,
+        dropped_candidates=chosen.dropped,
     )

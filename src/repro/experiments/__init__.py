@@ -22,19 +22,29 @@ from repro.experiments.configs import (
     smoke_sweep,
     sweep_by_name,
 )
-from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure1 import (
+    Figure1Result,
+    build_figure1_campaign,
+    run_figure1,
+    summarize_figure1_launch,
+)
 from repro.experiments.figure2 import (
     Figure2Result,
     SweepRecord,
     build_figure2_campaign,
     run_figure2,
+    sweep_record_from_job,
 )
 from repro.experiments.stats import RatioStats, ratio_stats
 from repro.experiments.claims import ClaimResults, evaluate_claims, run_claims
 from repro.experiments.ablation import (
     BoundednessRecord,
     OverheadSensitivityRecord,
+    boundedness_record_from_job,
     boundedness_study,
+    build_boundedness_campaign,
+    build_overhead_campaign,
+    overhead_records,
     overhead_sensitivity,
 )
 from repro.experiments.report import render_figure2_table, render_markdown_report
@@ -49,9 +59,14 @@ __all__ = [
     "RatioStats",
     "SweepRecord",
     "bench_sweep",
+    "boundedness_record_from_job",
     "boundedness_study",
+    "build_boundedness_campaign",
+    "build_figure1_campaign",
     "build_figure2_campaign",
+    "build_overhead_campaign",
     "evaluate_claims",
+    "overhead_records",
     "overhead_sensitivity",
     "paper_sweep",
     "ratio_stats",
@@ -61,5 +76,7 @@ __all__ = [
     "run_figure1",
     "run_figure2",
     "smoke_sweep",
+    "summarize_figure1_launch",
     "sweep_by_name",
+    "sweep_record_from_job",
 ]

@@ -27,6 +27,11 @@ from repro.workloads.problems import make_problem
 #: Launch overheads (cycles) swept by the A1 ablation.
 DEFAULT_OVERHEADS = (0, 16, 64, 256, 1024)
 
+#: Reference machine of the A1 overhead sweep.
+OVERHEAD_BASE_CONFIG = ArchConfig(cores=4, warps_per_core=4, threads_per_warp=8)
+#: Reference machine of the A2 boundedness study.
+BOUNDEDNESS_CONFIG = ArchConfig(cores=2, warps_per_core=4, threads_per_warp=8)
+
 
 @dataclass(frozen=True)
 class OverheadSensitivityRecord:
@@ -42,24 +47,22 @@ class OverheadSensitivityRecord:
         return self.naive_cycles / self.ours_cycles if self.ours_cycles else 0.0
 
 
-def overhead_sensitivity(problem_name: str = "vecadd", scale: str = "bench",
-                         config: Optional[ArchConfig] = None,
-                         overheads: Sequence[int] = DEFAULT_OVERHEADS,
-                         call_simulation_limit: Optional[int] = 3,
-                         seed: int = 0,
-                         runner: Optional[CampaignRunner] = None
-                         ) -> List[OverheadSensitivityRecord]:
-    """Sweep the kernel-launch overhead and measure the naive-vs-ours ratio."""
-    base_config = config if config is not None else ArchConfig(cores=4, warps_per_core=4,
-                                                               threads_per_warp=8)
-    runner = runner if runner is not None else CampaignRunner()
+def build_overhead_campaign(problem_name: str = "vecadd", scale: str = "bench",
+                            config: Optional[ArchConfig] = None,
+                            overheads: Sequence[int] = DEFAULT_OVERHEADS,
+                            call_simulation_limit: Optional[int] = 3,
+                            seed: int = 0) -> Campaign:
+    """The A1 grid: (naive, ours) per overhead, in overhead-major order.
+
+    Shared with the registered ``ablation`` scenario, which declares one
+    sub-grid per overhead with the same configs and strategies.
+    """
+    base_config = config if config is not None else OVERHEAD_BASE_CONFIG
     problem = make_problem(problem_name, scale=scale, seed=seed)
-    naive = NaiveMapping()
-    ours = HardwareAwareMapping()
     campaign = Campaign(name="ablation-overhead")
     for overhead in overheads:
         config_o = replace(base_config, kernel_launch_overhead=overhead)
-        for strategy in (naive, ours):
+        for strategy in (NaiveMapping(), HardwareAwareMapping()):
             campaign.add(JobSpec(
                 problem=problem_name,
                 config=config_o,
@@ -69,13 +72,34 @@ def overhead_sensitivity(problem_name: str = "vecadd", scale: str = "bench",
                 call_simulation_limit=call_simulation_limit,
                 label=f"{problem_name}/overhead={overhead}/{strategy.name}",
             ))
+    return campaign
+
+
+def overhead_records(overheads: Sequence[int],
+                     cycle_pairs: Sequence[Sequence[int]]
+                     ) -> List[OverheadSensitivityRecord]:
+    """Pair up (naive, ours) cycle counts, one record per swept overhead."""
+    return [OverheadSensitivityRecord(launch_overhead=overhead,
+                                      naive_cycles=naive, ours_cycles=ours)
+            for overhead, (naive, ours) in zip(overheads, cycle_pairs)]
+
+
+def overhead_sensitivity(problem_name: str = "vecadd", scale: str = "bench",
+                         config: Optional[ArchConfig] = None,
+                         overheads: Sequence[int] = DEFAULT_OVERHEADS,
+                         call_simulation_limit: Optional[int] = 3,
+                         seed: int = 0,
+                         runner: Optional[CampaignRunner] = None
+                         ) -> List[OverheadSensitivityRecord]:
+    """Sweep the kernel-launch overhead and measure the naive-vs-ours ratio."""
+    runner = runner if runner is not None else CampaignRunner()
+    campaign = build_overhead_campaign(problem_name, scale, config, overheads,
+                                       call_simulation_limit, seed)
     jobs = runner.run(campaign).job_results()
-    records: List[OverheadSensitivityRecord] = []
-    for overhead, (naive_job, ours_job) in zip(overheads, zip(jobs[::2], jobs[1::2])):
-        records.append(OverheadSensitivityRecord(
-            launch_overhead=overhead, naive_cycles=naive_job.cycles,
-            ours_cycles=ours_job.cycles))
-    return records
+    return overhead_records(
+        overheads,
+        [(naive_job.cycles, ours_job.cycles)
+         for naive_job, ours_job in zip(jobs[::2], jobs[1::2])])
 
 
 @dataclass(frozen=True)
@@ -90,29 +114,40 @@ class BoundednessRecord:
     cycles: int
 
 
+def build_boundedness_campaign(problem_names: Sequence[str],
+                               scale: str = "bench",
+                               config: Optional[ArchConfig] = None,
+                               seed: int = 0) -> Campaign:
+    """The A2 grid: one runtime-mapped launch per workload."""
+    reference = config if config is not None else BOUNDEDNESS_CONFIG
+    campaign = Campaign(name="ablation-boundedness")
+    for name in problem_names:
+        # lws=None -> the runtime Eq.-1 mapping, exactly like Device.launch.
+        campaign.add(JobSpec(problem=name, config=reference, scale=scale,
+                             seed=seed, label=f"boundedness/{name}"))
+    return campaign
+
+
+def boundedness_record_from_job(job) -> BoundednessRecord:
+    """Classify one campaign :class:`JobResult` (shared with the scenario port)."""
+    counters = job.perf_counters()
+    return BoundednessRecord(
+        problem=job.problem,
+        category=job.category,
+        boundedness=classify_boundedness(counters),
+        memory_intensity=counters.memory_intensity,
+        l1_hit_rate=counters.l1_hit_rate,
+        cycles=job.cycles,
+    )
+
+
 def boundedness_study(problem_names: Sequence[str], scale: str = "bench",
                       config: Optional[ArchConfig] = None,
                       seed: int = 0,
                       runner: Optional[CampaignRunner] = None
                       ) -> List[BoundednessRecord]:
     """Classify each workload as memory- or compute-bound on a reference machine."""
-    reference = config if config is not None else ArchConfig(cores=2, warps_per_core=4,
-                                                             threads_per_warp=8)
     runner = runner if runner is not None else CampaignRunner()
-    campaign = Campaign(name="ablation-boundedness")
-    for name in problem_names:
-        # lws=None -> the runtime Eq.-1 mapping, exactly like Device.launch.
-        campaign.add(JobSpec(problem=name, config=reference, scale=scale,
-                             seed=seed, label=f"boundedness/{name}"))
-    records: List[BoundednessRecord] = []
-    for job in runner.run(campaign).job_results():
-        counters = job.perf_counters()
-        records.append(BoundednessRecord(
-            problem=job.problem,
-            category=job.category,
-            boundedness=classify_boundedness(counters),
-            memory_intensity=counters.memory_intensity,
-            l1_hit_rate=counters.l1_hit_rate,
-            cycles=job.cycles,
-        ))
-    return records
+    campaign = build_boundedness_campaign(problem_names, scale, config, seed)
+    return [boundedness_record_from_job(job)
+            for job in runner.run(campaign).job_results()]

@@ -32,6 +32,20 @@ FIGURE1_LENGTH = 128
 FIGURE1_SEED = 11
 
 
+def summarize_figure1_launch(local_size: int, cycles: int, num_calls: int,
+                             num_workgroups: int, lane_utilization: float) -> str:
+    """The per-plot caption line of the Figure-1 study.
+
+    Shared by :meth:`Figure1Trace.summary` and the registered ``figure1``
+    scenario's analysis (which renders the same numbers from sink records),
+    so the two outputs cannot drift apart.
+    """
+    return (f"lws={local_size:>3}: {cycles:>6} cycles, "
+            f"{num_calls} kernel call(s), "
+            f"{num_workgroups} workgroups, "
+            f"lane utilisation {lane_utilization:.0%}")
+
+
 @dataclass
 class Figure1Trace:
     """One traced launch of the Figure-1 study."""
@@ -48,10 +62,9 @@ class Figure1Trace:
 
     def summary(self) -> str:
         """One-line summary mirroring the paper's per-plot caption."""
-        return (f"lws={self.local_size:>3}: {self.cycles:>6} cycles, "
-                f"{self.num_calls} kernel call(s), "
-                f"{self.num_workgroups} workgroups, "
-                f"lane utilisation {self.lane_utilization:.0%}")
+        return summarize_figure1_launch(self.local_size, self.cycles,
+                                        self.num_calls, self.num_workgroups,
+                                        self.lane_utilization)
 
 
 @dataclass
@@ -81,6 +94,35 @@ class Figure1Result:
         return "\n".join(blocks)
 
 
+def build_figure1_campaign(lws_values: Sequence[int] = FIGURE1_LWS_VALUES,
+                           length: int = FIGURE1_LENGTH,
+                           config: Optional[ArchConfig] = None,
+                           max_trace_events: int = 200_000,
+                           seed: int = FIGURE1_SEED,
+                           collect_trace: bool = True) -> Campaign:
+    """The Figure-1 grid as a campaign (one traced ``vecadd`` launch per lws).
+
+    The registered ``figure1`` scenario declares the same grid (without
+    tracing -- tracing never changes the numbers, only what is reported), so
+    both paths simulate identical content-addressed points.
+    """
+    config = config if config is not None else FIGURE1_CONFIG
+    campaign = Campaign(name="figure1")
+    for lws in lws_values:
+        campaign.add(JobSpec(
+            problem="vecadd",
+            config=config,
+            scale="bench",
+            seed=seed,
+            size=length,
+            local_size=lws,
+            collect_trace=collect_trace,
+            max_trace_events=max_trace_events,
+            label=f"figure1/vecadd/lws={lws}",
+        ))
+    return campaign
+
+
 def run_figure1(lws_values: Sequence[int] = FIGURE1_LWS_VALUES,
                 length: int = FIGURE1_LENGTH,
                 config: Optional[ArchConfig] = None,
@@ -92,19 +134,8 @@ def run_figure1(lws_values: Sequence[int] = FIGURE1_LWS_VALUES,
     config = config if config is not None else FIGURE1_CONFIG
     runner = runner if runner is not None else CampaignRunner()
 
-    campaign = Campaign(name="figure1")
-    for lws in lws_values:
-        campaign.add(JobSpec(
-            problem="vecadd",
-            config=config,
-            scale="bench",
-            seed=seed,
-            size=length,
-            local_size=lws,
-            collect_trace=True,
-            max_trace_events=max_trace_events,
-            label=f"figure1/vecadd/lws={lws}",
-        ))
+    campaign = build_figure1_campaign(lws_values, length, config,
+                                      max_trace_events, seed)
     outcome = runner.run(campaign)
     outcome.raise_on_failure()
 

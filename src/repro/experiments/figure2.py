@@ -201,6 +201,30 @@ class Figure2Result:
 
 
 # ----------------------------------------------------------------------
+def sweep_record_from_job(job, strategy: str,
+                          category: Optional[str] = None) -> SweepRecord:
+    """One :class:`SweepRecord` from a campaign :class:`JobResult`.
+
+    The single conversion point shared by :func:`run_figure2` and the
+    registered ``figure2``/``claims`` scenarios (whose analyses rebuild the
+    result from sink records) -- the numbers cannot diverge because they are
+    copied by the same code.
+    """
+    return SweepRecord(
+        problem=job.problem,
+        category=category if category is not None else job.category,
+        config_name=job.config_name,
+        hardware_parallelism=job.hardware_parallelism,
+        strategy=strategy,
+        local_size=job.local_size,
+        global_size=job.global_size,
+        num_calls=job.num_calls,
+        cycles=job.cycles,
+        lane_utilization=job.lane_utilization,
+        elapsed_seconds=job.elapsed_seconds,
+    )
+
+
 def build_figure2_campaign(problem_names: Sequence[str],
                            configs: Sequence[ArchConfig],
                            scale: str = "bench",
@@ -286,17 +310,6 @@ def run_figure2(problem_names: Sequence[str], configs: Sequence[ArchConfig],
 
     result = Figure2Result()
     for (problem, label), job in zip(jobs, outcome.results):
-        result.records.append(SweepRecord(
-            problem=problem.name,
-            category=problem.category,
-            config_name=job.config_name,
-            hardware_parallelism=job.hardware_parallelism,
-            strategy=label,
-            local_size=job.local_size,
-            global_size=job.global_size,
-            num_calls=job.num_calls,
-            cycles=job.cycles,
-            lane_utilization=job.lane_utilization,
-            elapsed_seconds=job.elapsed_seconds,
-        ))
+        result.records.append(
+            sweep_record_from_job(job, label, category=problem.category))
     return result

@@ -1,0 +1,374 @@
+"""The planner: grid expansion, dedup, sharded execution, streaming sink.
+
+``Planner.plan`` expands a scenario's declarative grid into concrete
+:class:`~repro.campaign.spec.JobSpec` objects -- strategies resolved to lws
+values against each problem's actual global work size, duplicates collapsed
+by (engine-qualified) content hash.  ``Planner.run`` then:
+
+1. loads the :class:`~repro.scenarios.sink.ResultSink` (if any) and drops
+   every planned job whose key is already recorded -- this is resume;
+2. groups the remaining jobs by pinned engine and splits them into shards,
+   each submitted through the existing
+   :class:`~repro.campaign.runner.CampaignRunner` (cache-first, deduped,
+   parallel workers) with a progress hook that appends one sink record the
+   moment each job completes -- a killed run therefore loses at most the
+   in-flight jobs, never the finished ones;
+3. returns a :class:`ScenarioRun` whose records follow plan order, mixing
+   resumed and freshly simulated points indistinguishably.
+
+Failures abort nothing mid-shard (the campaign runner isolates them); they
+are collected and raised together at the end, *after* every successful
+record has reached the sink, so ``repro scenario resume`` retries only the
+failed points.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.result import JobFailure, JobResult
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import Campaign, JobSpec
+from repro.core.mapper import strategy_by_name
+from repro.scenarios.sink import ResultSink, SinkRecord
+from repro.scenarios.spec import (
+    GridAxes,
+    PlannedJob,
+    RUNTIME_STRATEGY,
+    Scenario,
+    ScenarioContext,
+)
+from repro.sim.engine import ENGINE_ENV, resolve_engine
+from repro.workloads.problems import problem_global_size
+
+#: Default shard size: ``None`` submits one shard per engine group.  The sink
+#: is appended per *job* (the campaign progress hook fires on every
+#: completion), so smaller shards buy nothing on the happy path -- chunking
+#: exists for callers that want to bound how much work a single
+#: campaign-runner call (and its worker pool) owns.
+DEFAULT_SHARD_SIZE = None
+
+
+class ScenarioError(RuntimeError):
+    """Raised when a scenario run finishes with failed jobs."""
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Accounting for one :meth:`Planner.run` call."""
+
+    planned: int               # grid points before dedup
+    unique: int                # deduplicated jobs (the plan)
+    resumed: int               # served from the sink without simulating
+    executed: int              # simulated this run
+    failed: int
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        """One-line summary for logs and the CLI."""
+        return (f"{self.planned} grid point(s) -> {self.unique} unique job(s): "
+                f"{self.resumed} resumed from sink, {self.executed} executed, "
+                f"{self.failed} failed in {self.elapsed_seconds:.2f}s")
+
+
+@dataclass
+class ScenarioRun:
+    """One completed scenario execution: plan, records and accounting."""
+
+    scenario: Scenario
+    context: ScenarioContext
+    plan: List[PlannedJob]
+    records: List[SinkRecord]
+    stats: PlanStats
+    sink_path: Optional[str] = None
+
+    def report(self) -> str:
+        """The scenario's analysis, rendered from the sink records."""
+        return self.scenario.analyze(self)
+
+    def results(self) -> List[JobResult]:
+        """Every record's :class:`JobResult`, in plan order."""
+        return [record.result for record in self.records]
+
+
+class Planner:
+    """Expands scenario grids and drives them through the campaign engine."""
+
+    def __init__(self, runner: Optional[CampaignRunner] = None,
+                 shard_size: Optional[int] = DEFAULT_SHARD_SIZE):
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1 or None, got {shard_size}")
+        self.runner = runner if runner is not None else CampaignRunner()
+        self.shard_size = shard_size
+
+    # ------------------------------------------------------------------
+    def plan(self, scenario: Scenario,
+             context: Optional[ScenarioContext] = None) -> List[PlannedJob]:
+        """Expand the grid into one planned job per grid point, in grid order.
+
+        Axis order is ``seed > problem > size > config > strategy > engine``
+        (matching the hand-written drivers, so ported scenarios submit their
+        grids in the identical order).  Points whose specs coincide -- two
+        strategies resolving to the same lws on some machine -- all stay in
+        the plan (each carries its own meta tags for analysis); execution
+        dedups them by key (:meth:`unique_jobs`), so every distinct point is
+        simulated once and the sink holds exactly one record per key.
+        """
+        context = context if context is not None else ScenarioContext(
+            scale=scenario.default_scale)
+        problems_cache: Dict[Tuple[str, str, int, Optional[int]], int] = {}
+        jobs: List[PlannedJob] = []
+        for axes in scenario.axes(context):
+            scale = axes.scale if axes.scale is not None else context.scale
+            seeds = axes.seeds if axes.seeds is not None else (context.seed,)
+            for seed in seeds:
+                for problem_name in axes.problems:
+                    for size in axes.sizes:
+                        key = (problem_name, scale, seed, size)
+                        if key not in problems_cache:
+                            # Size-only: planning must not allocate the
+                            # workloads' input data.
+                            problems_cache[key] = problem_global_size(
+                                problem_name, scale=scale, seed=seed, size=size)
+                        gws = problems_cache[key]
+                        for config in axes.configs:
+                            for strategy_name in axes.strategies:
+                                if strategy_name == RUNTIME_STRATEGY:
+                                    lws = None
+                                else:
+                                    lws = strategy_by_name(
+                                        strategy_name).select_local_size(gws, config)
+                                for engine in axes.engines:
+                                    jobs.append(self._planned_job(
+                                        scenario, problem_name, scale, seed, size,
+                                        gws, config, strategy_name, lws, engine, axes))
+        return jobs
+
+    @staticmethod
+    def unique_jobs(plan: Sequence[PlannedJob]) -> List[PlannedJob]:
+        """The deduplicated plan: first job per execution key, in plan order."""
+        seen: Dict[str, None] = {}
+        unique: List[PlannedJob] = []
+        for job in plan:
+            if job.key() in seen:
+                continue
+            seen[job.key()] = None
+            unique.append(job)
+        return unique
+
+    @staticmethod
+    def _planned_job(scenario, problem_name, scale, seed, size, gws, config,
+                     strategy_name, lws, engine, axes: GridAxes) -> PlannedJob:
+        label = f"{scenario.name}/{problem_name}/{config.name}/{strategy_name}"
+        if engine is not None:
+            label += f"@{engine}"
+        spec = JobSpec(
+            problem=problem_name,
+            config=config,
+            scale=scale,
+            seed=seed,
+            size=size,
+            local_size=lws,
+            call_simulation_limit=axes.call_simulation_limit,
+            collect_trace=axes.collect_trace,
+            label=label,
+        )
+        meta = {
+            "scenario": scenario.name,
+            "problem": problem_name,
+            "config": config.name,
+            "strategy": strategy_name,
+            "engine": engine,
+            "seed": seed,
+            "scale": scale,
+            "size": size,
+            "gws": gws,
+        }
+        meta.update(axes.tags)
+        return PlannedJob(spec=spec, engine=engine, meta=meta)
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario,
+            context: Optional[ScenarioContext] = None,
+            sink: Optional[ResultSink] = None,
+            fresh: bool = False,
+            progress=None,
+            plan: Optional[List[PlannedJob]] = None) -> ScenarioRun:
+        """Execute the scenario; see the module docstring for the pipeline.
+
+        ``progress(done, total, record_or_failure)`` fires once per job that
+        was not resumed from the sink.  ``plan`` accepts a pre-expanded plan
+        from :meth:`plan` (for the same scenario and context) so callers that
+        already inspected the grid do not pay the expansion twice.
+        """
+        context = context if context is not None else ScenarioContext(
+            scale=scenario.default_scale)
+        started = time.perf_counter()
+        if plan is None:
+            plan = self.plan(scenario, context)
+        unique = self.unique_jobs(plan)
+
+        if sink is not None and fresh:
+            sink.reset()
+        done: Dict[str, SinkRecord] = sink.load() if sink is not None else {}
+        pending = [job for job in unique if job.key() not in done]
+        resumed = len(unique) - len(pending)
+
+        runner = self.runner if scenario.cacheable else self.runner.without_cache()
+
+        failures: List[JobFailure] = []
+        completed = [0]
+        total_pending = len(pending)
+
+        for engine, shard in self._shards(pending):
+            by_hash = {job.spec.content_hash(): job for job in shard}
+            campaign = Campaign(name=scenario.name,
+                                specs=[job.spec for job in shard])
+
+            def on_job(index, total, spec, outcome, _by_hash=by_hash):
+                completed[0] += 1
+                job = _by_hash[spec.content_hash()]
+                if isinstance(outcome, JobResult):
+                    record = SinkRecord(
+                        key=job.key(),
+                        job_hash=spec.content_hash(),
+                        scenario=scenario.name,
+                        result=outcome,
+                        spec=spec.to_dict(),
+                        meta=job.meta,
+                    )
+                    done[job.key()] = record
+                    if sink is not None:
+                        sink.append(record)
+                    if progress is not None:
+                        progress(completed[0], total_pending, record)
+                else:
+                    failures.append(outcome)
+                    if progress is not None:
+                        progress(completed[0], total_pending, outcome)
+
+            with _pinned_engine(engine):
+                runner.run(campaign, progress=on_job)
+
+        executed = total_pending - len(failures)
+        stats = PlanStats(
+            planned=len(plan),
+            unique=len(unique),
+            resumed=resumed,
+            executed=executed,
+            failed=len(failures),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        if failures:
+            detail = "\n".join(f.summary() for f in failures)
+            raise ScenarioError(
+                f"scenario {scenario.name!r}: {len(failures)} of "
+                f"{len(pending)} job(s) failed "
+                f"(successful results are in the sink; resume retries only "
+                f"the failures)\n{detail}")
+        # Fan the one-record-per-key sink state back out to every grid point:
+        # a point that deduplicated against another strategy's spec still gets
+        # a record carrying its *own* meta tags, so analyses see the full grid.
+        records = [replace(done[job.key()], meta=job.meta) for job in plan]
+        return ScenarioRun(
+            scenario=scenario,
+            context=context,
+            plan=plan,
+            records=records,
+            stats=stats,
+            sink_path=str(sink.path) if sink is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    def load(self, scenario: Scenario,
+             context: Optional[ScenarioContext] = None,
+             sink: Optional[ResultSink] = None) -> ScenarioRun:
+        """Rebuild a completed run from its sink without executing anything.
+
+        This is ``repro scenario report``: plan the grid, resolve every key
+        against the sink, and raise :class:`ScenarioError` naming the missing
+        jobs if the sink does not cover the whole grid yet.
+        """
+        context = context if context is not None else ScenarioContext(
+            scale=scenario.default_scale)
+        plan = self.plan(scenario, context)
+        unique = self.unique_jobs(plan)
+        done = sink.load() if sink is not None else {}
+        missing = [job for job in unique if job.key() not in done]
+        if missing:
+            names = ", ".join(job.spec.display_name() for job in missing[:5])
+            more = "" if len(missing) <= 5 else f", ... ({len(missing) - 5} more)"
+            # Echo the grid-shaping flags: resuming with different ones would
+            # simulate a *different* grid into the same sink.
+            hint = f"repro scenario resume {scenario.name} --scale {context.scale}"
+            if context.sweep:
+                hint += f" --sweep {context.sweep}"
+            if context.seed:
+                hint += f" --seed {context.seed}"
+            if context.problems:
+                hint += f" --kernels {','.join(context.problems)}"
+            raise ScenarioError(
+                f"scenario {scenario.name!r}: sink covers "
+                f"{len(unique) - len(missing)} of {len(unique)} job(s); "
+                f"missing {names}{more} -- run `{hint}` to complete it")
+        stats = PlanStats(planned=len(plan), unique=len(unique),
+                          resumed=len(unique), executed=0, failed=0,
+                          elapsed_seconds=0.0)
+        return ScenarioRun(
+            scenario=scenario,
+            context=context,
+            plan=plan,
+            records=[replace(done[job.key()], meta=job.meta) for job in plan],
+            stats=stats,
+            sink_path=str(sink.path) if sink is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _shards(self, pending: Sequence[PlannedJob]):
+        """Yield ``(engine, jobs)`` shards: engine groups, optionally chunked.
+
+        Grouping by engine keeps each campaign-runner call homogeneous (the
+        engine is pinned through the environment for the whole call, worker
+        processes included).  With the default ``shard_size=None`` each
+        engine group is one shard -- the worker pool is built once per group
+        and the per-job progress hook already streams the sink; an explicit
+        ``shard_size`` additionally bounds how much work a single
+        campaign-runner call owns.
+        """
+        groups: Dict[Optional[str], List[PlannedJob]] = {}
+        order: List[Optional[str]] = []
+        for job in pending:
+            if job.engine not in groups:
+                groups[job.engine] = []
+                order.append(job.engine)
+            groups[job.engine].append(job)
+        for engine in order:
+            jobs = groups[engine]
+            chunk = self.shard_size if self.shard_size is not None else len(jobs)
+            for start in range(0, len(jobs), max(chunk, 1)):
+                yield engine, jobs[start:start + max(chunk, 1)]
+
+
+class _pinned_engine:
+    """Context manager pinning ``REPRO_ENGINE`` for one shard (or a no-op)."""
+
+    def __init__(self, engine: Optional[str]):
+        self.engine = None if engine is None else resolve_engine(engine)
+        self._previous: Optional[str] = None
+
+    def __enter__(self):
+        if self.engine is not None:
+            self._previous = os.environ.get(ENGINE_ENV)
+            os.environ[ENGINE_ENV] = self.engine
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.engine is not None:
+            if self._previous is None:
+                os.environ.pop(ENGINE_ENV, None)
+            else:
+                os.environ[ENGINE_ENV] = self._previous
+        return False

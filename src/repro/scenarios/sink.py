@@ -1,0 +1,154 @@
+"""Streaming scenario result sink: one JSONL record per completed job.
+
+The :class:`ResultSink` is the persistence layer of a scenario run.  Every
+time the planner finishes a grid point it appends one JSON object (the job
+key, the full spec, the result summary and the planner's metadata tags) to
+the sink file and flushes -- so a run killed mid-grid leaves a readable
+journal behind, and a subsequent ``repro scenario resume`` executes only the
+jobs whose keys are not yet present.  A partially written trailing line
+(the usual artefact of a hard kill) is skipped on load, exactly like the
+campaign cache journal.
+
+The sink is scoped per ``(scenario, scale)`` pair by default (see
+:func:`default_sink_path`); records written under a different simulator
+version are ignored on load, so a version bump forces re-simulation without
+touching the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from repro.campaign.journal import (
+    is_current_record,
+    iter_journal_lines,
+    terminate_partial_tail,
+)
+from repro.campaign.result import JobResult
+from repro.campaign.spec import CACHE_SCHEMA_VERSION, simulator_version
+
+#: Environment variable overriding the directory scenario sinks live in.
+SINK_DIR_ENV = "REPRO_SCENARIO_DIR"
+#: Default directory (relative to the working directory) for scenario sinks.
+DEFAULT_SINK_DIR = "scenario-runs"
+
+
+def default_sink_dir() -> Path:
+    """The directory scenario sinks default to (``$REPRO_SCENARIO_DIR`` aware)."""
+    override = os.environ.get(SINK_DIR_ENV)
+    return Path(override).expanduser() if override else Path(DEFAULT_SINK_DIR)
+
+
+def default_sink_path(scenario_name: str, scale: str) -> Path:
+    """Where ``repro scenario run`` persists a scenario's records by default."""
+    return default_sink_dir() / f"{scenario_name}-{scale}.jsonl"
+
+
+@dataclass(frozen=True)
+class SinkRecord:
+    """One completed grid point: the spec that named it plus its result.
+
+    ``key`` is the planner's execution key: the spec's content hash, prefixed
+    with the engine name when the scenario pins one (the hash deliberately
+    ignores the engine -- both produce bit-identical numbers -- but an
+    engine-comparison scenario must execute the point once per engine).
+    ``meta`` carries the planner's axis tags (strategy label, seed, engine,
+    ...) so analysis hooks never have to re-derive them from labels.
+    """
+
+    key: str
+    job_hash: str
+    scenario: str
+    result: JobResult
+    spec: Mapping[str, object] = field(default_factory=dict)
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to plain JSON types (one sink line)."""
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "simulator": simulator_version(),
+            "key": self.key,
+            "hash": self.job_hash,
+            "scenario": self.scenario,
+            "spec": dict(self.spec),
+            "meta": dict(self.meta),
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SinkRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            key=str(data["key"]),
+            job_hash=str(data["hash"]),
+            scenario=str(data["scenario"]),
+            result=JobResult.from_dict(data["result"]),
+            spec=dict(data.get("spec", {})),
+            meta=dict(data.get("meta", {})),
+        )
+
+
+class ResultSink:
+    """Append-only JSONL store of :class:`SinkRecord` objects."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path).expanduser()
+        self.appended = 0          # records written by this instance
+        self.skipped = 0           # unusable lines seen by the last load()
+        self._tail_checked = False
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> Dict[str, SinkRecord]:
+        """Read the journal into ``{key: record}`` (last record per key wins).
+
+        Lines that are corrupt (partial writes), from another simulator
+        version or from another cache schema are counted in ``skipped`` and
+        otherwise ignored.
+        """
+        records: Dict[str, SinkRecord] = {}
+        self.skipped = 0
+        for data in iter_journal_lines(self.path):
+            try:
+                if data is None or not is_current_record(data):
+                    self.skipped += 1
+                    continue
+                record = SinkRecord.from_dict(data)
+                records[record.key] = record
+            except (KeyError, TypeError, ValueError):
+                self.skipped += 1      # half-written line from a killed run
+        return records
+
+    def _ensure_trailing_newline(self) -> None:
+        """Terminate a half-written tail line before the first append.
+
+        A killed run can leave the journal without a final newline; appending
+        straight after it would merge the new record into the partial line
+        and corrupt both.  Checked once per sink instance.
+        """
+        if self._tail_checked:
+            return
+        self._tail_checked = True
+        terminate_partial_tail(self.path)
+
+    def append(self, record: SinkRecord) -> None:
+        """Persist one record immediately (flushed, so kills lose at most one)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._ensure_trailing_newline()
+        with self.path.open("a") as journal:
+            journal.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            journal.flush()
+            os.fsync(journal.fileno())
+        self.appended += 1
+
+    def reset(self) -> None:
+        """Delete the journal (``repro scenario run --fresh``)."""
+        if self.path.exists():
+            self.path.unlink()

@@ -37,7 +37,7 @@ from repro.kernels.library import (
 )
 from repro.kernels.library.gaussian import GAUSSIAN_WEIGHTS
 from repro.kernels.kernel import Kernel
-from repro.workloads.graphs import CsrGraph, cora_like_graph, synthetic_graph
+from repro.workloads.graphs import CORA_NODES, CsrGraph, cora_like_graph, synthetic_graph
 from repro.workloads.images import random_conv_weights, random_feature_map, random_image
 from repro.workloads.points import random_points
 from repro.workloads.tensors import random_matrix, random_vector
@@ -213,11 +213,15 @@ def _gaussian(scale: Scale, seed: int) -> Problem:
 # ----------------------------------------------------------------------
 # GCN aggregation / layer
 # ----------------------------------------------------------------------
+#: Node count per scale (the graph builders below honour these, pinned by the
+#: paper-scale workload tests; CORA_NODES is the Cora citation graph's 2708).
+_GCN_NODES = {"paper": CORA_NODES, "bench": 256, "smoke": 32}
+
 _GCN_SIZES = {
     # (graph builder, hidden, hidden_out)
     "paper": (lambda seed: cora_like_graph(seed=seed), 16, 16),
-    "bench": (lambda seed: synthetic_graph(256, 1024, seed=seed), 8, 8),
-    "smoke": (lambda seed: synthetic_graph(32, 128, seed=seed), 4, 4),
+    "bench": (lambda seed: synthetic_graph(_GCN_NODES["bench"], 1024, seed=seed), 8, 8),
+    "smoke": (lambda seed: synthetic_graph(_GCN_NODES["smoke"], 128, seed=seed), 4, 4),
 }
 
 
@@ -339,6 +343,62 @@ _FACTORIES: Dict[str, Callable[..., Problem]] = {
 SIZEABLE_PROBLEMS = ("vecadd", "relu", "saxpy", "knn")
 
 
+def _elementwise_gws(scale: Scale, size: Optional[int]) -> int:
+    return size if size is not None else _ELEMENTWISE_SIZES[scale]
+
+
+# Size-only views of the factories, sharing their geometry tables: planning a
+# grid (or re-keying a sink on resume/report) needs only ``global_size``, so
+# no input arrays -- and no graphs -- are ever constructed here.
+_GLOBAL_SIZES: Dict[str, Callable[[Scale, int, Optional[int]], int]] = {
+    "vecadd": lambda scale, seed, size: _elementwise_gws(scale, size),
+    "relu": lambda scale, seed, size: _elementwise_gws(scale, size),
+    "saxpy": lambda scale, seed, size: _elementwise_gws(scale, size),
+    "sgemm": lambda scale, seed, size: (_SGEMM_SIZES[scale][0]
+                                        * _SGEMM_SIZES[scale][1]),
+    "knn": lambda scale, seed, size: size if size is not None else _KNN_SIZES[scale],
+    "gaussian": lambda scale, seed, size: (_GAUSSIAN_SIZES[scale][0]
+                                           * _GAUSSIAN_SIZES[scale][1]),
+    "gcn_aggregate": lambda scale, seed, size: (_GCN_NODES[scale]
+                                                * _GCN_SIZES[scale][1]),
+    "gcn_layer": lambda scale, seed, size: (_GCN_NODES[scale]
+                                            * _GCN_SIZES[scale][2]),
+    "conv2d": lambda scale, seed, size: (_CONV_SIZES[scale][3]
+                                         * _CONV_SIZES[scale][0]
+                                         * _CONV_SIZES[scale][1]),
+}
+
+
+def problem_global_size(name: str, scale: Scale = "bench", seed: int = 0,
+                        size: Optional[int] = None) -> int:
+    """The flattened global work size of ``make_problem(...)``, data-free.
+
+    Same validation and same result as building the problem (equality is
+    pinned by ``tests/test_workloads.py``), without allocating any input
+    arrays -- what grid planning and sink re-keying use.
+    """
+    _require_size_arguments(name, size)
+    _require_scale(scale)
+    return _GLOBAL_SIZES[name](scale, seed, size)
+
+
+def _require_size_arguments(name: str, size: Optional[int]) -> None:
+    """The shared (name, size-override) validation of the problem factories."""
+    if name not in _FACTORIES:
+        raise UnknownProblemError(
+            f"unknown problem {name!r}; available: {', '.join(available_problems())}"
+        )
+    if size is None:
+        return
+    if name not in SIZEABLE_PROBLEMS:
+        raise UnknownProblemError(
+            f"problem {name!r} does not support a size override; "
+            f"sizeable problems: {', '.join(SIZEABLE_PROBLEMS)}"
+        )
+    if size < 1:
+        raise UnknownProblemError(f"size override must be positive, got {size}")
+
+
 def available_problems() -> List[str]:
     """Names of every problem factory."""
     return sorted(_FACTORIES)
@@ -352,20 +412,9 @@ def make_problem(name: str, scale: Scale = "bench", seed: int = 0,
     one-dimensional workloads (:data:`SIZEABLE_PROBLEMS`); structured problems
     (matrices, images, graphs) reject it.
     """
+    _require_size_arguments(name, size)
     _require_scale(scale)
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise UnknownProblemError(
-            f"unknown problem {name!r}; available: {', '.join(available_problems())}"
-        ) from None
+    factory = _FACTORIES[name]
     if size is None:
         return factory(scale, seed)
-    if name not in SIZEABLE_PROBLEMS:
-        raise UnknownProblemError(
-            f"problem {name!r} does not support a size override; "
-            f"sizeable problems: {', '.join(SIZEABLE_PROBLEMS)}"
-        )
-    if size < 1:
-        raise UnknownProblemError(f"size override must be positive, got {size}")
     return factory(scale, seed, size=size)

@@ -160,6 +160,71 @@ class TestResultCache:
         assert len(reloaded) == 1
         assert reloaded.stats().stale_entries == 1
 
+    def test_superseded_duplicate_lines_are_compacted_on_load(self, tmp_path):
+        job = spec(local_size=4)
+        cache = ResultCache(tmp_path)
+        result = execute_job(job)
+        cache.put(job, result)
+        # Simulate a concurrent campaign appending the same hash again.
+        line = cache.journal_path.read_text()
+        with cache.journal_path.open("a") as journal:
+            journal.write(line)
+        assert len(cache.journal_path.read_text().splitlines()) == 2
+
+        reloaded = ResultCache(tmp_path)
+        assert len(reloaded) == 1
+        stats = reloaded.stats()
+        assert stats.compacted_lines == 1
+        assert stats.journal_lines == 1
+        assert "compacted 1 superseded/corrupt line(s)" in stats.render()
+        # the journal itself shrank back to one line per hash
+        assert len(cache.journal_path.read_text().splitlines()) == 1
+        assert reloaded.get(job).cycles == result.cycles
+
+    def test_compaction_keeps_the_last_record_per_hash(self, tmp_path):
+        job = spec(local_size=4)
+        cache = ResultCache(tmp_path)
+        cache.put(job, execute_job(job))
+        record = json.loads(cache.journal_path.read_text())
+        record["result"]["cycles"] = 123_456          # a newer, different write
+        with cache.journal_path.open("a") as journal:
+            journal.write(json.dumps(record, sort_keys=True) + "\n")
+
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.get(job).cycles == 123_456
+        assert reloaded.stats().compacted_lines == 1
+
+    def test_stale_duplicate_hash_cannot_shadow_a_usable_record(self, tmp_path):
+        # A tampered/hand-merged journal can hold the same hash under two
+        # simulator versions; last-wins dedup is per (hash, version), so the
+        # stale line neither shadows the usable record nor gets it compacted
+        # away.
+        job = spec(local_size=4)
+        cache = ResultCache(tmp_path)
+        result = execute_job(job)
+        cache.put(job, result)
+        record = json.loads(cache.journal_path.read_text())
+        record["simulator"] = "999.0.0"       # same hash, other version
+        with cache.journal_path.open("a") as journal:
+            journal.write(json.dumps(record, sort_keys=True) + "\n")
+
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.get(job).cycles == result.cycles   # still served
+        assert reloaded.stats().stale_entries == 1
+        assert reloaded.stats().compacted_lines == 0       # nothing superseded
+        assert len(cache.journal_path.read_text().splitlines()) == 2
+
+    def test_status_reports_journal_size_metrics(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(local_size=4), execute_job(spec(local_size=4)))
+        stats = cache.stats()
+        assert stats.journal_lines == 1
+        assert stats.size_bytes > 0
+        assert stats.bytes_per_entry == stats.size_bytes
+        rendered = stats.render()
+        assert "journal lines" in rendered
+        assert "B/entry" in rendered
+
     def test_clear_removes_the_journal(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = spec(local_size=4)

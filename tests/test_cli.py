@@ -10,8 +10,21 @@ from repro.cli import build_parser, main
 def test_parser_lists_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("info", "run", "figure1", "sweep", "report", "campaign"):
+    for command in ("info", "run", "figure1", "sweep", "report", "campaign",
+                    "scenario"):
         assert command in text
+
+
+def test_grid_flags_are_shared_across_sweep_campaign_and_scenario(capsys):
+    """One parent parser feeds sweep, campaign run and scenario run."""
+    for argv in (["sweep", "--help"],
+                 ["campaign", "run", "--help"],
+                 ["scenario", "run", "--help"]):
+        with pytest.raises(SystemExit):
+            main(argv)
+        text = capsys.readouterr().out
+        for flag in ("--kernels", "--sweep", "--scale", "--seed", "--exact-calls"):
+            assert flag in text, f"{flag} missing from {' '.join(argv)}"
 
 
 def test_missing_subcommand_exits_with_error():
@@ -104,6 +117,81 @@ def test_campaign_run_status_and_clear_cache(tmp_path, capsys):
     assert "cleared" in capsys.readouterr().out
     assert main(["campaign", "status", "--cache-dir", cache_dir]) == 0
     assert "usable entries  : 0" in capsys.readouterr().out
+
+
+def test_scenario_list_shows_all_registered_scenarios(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("figure1", "figure2", "ablation", "claims", "scaling",
+                 "scheduler-sweep", "engine-compare", "cache-sensitivity"):
+        assert name in out
+    import re
+    count = int(re.search(r"(\d+) scenario\(s\) registered", out).group(1))
+    assert count >= 8
+
+
+def test_scenario_run_resume_report_cycle(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path / "sinks"))
+    cache_dir = str(tmp_path / "cache")
+    base = ["scenario", "run", "scaling", "--scale", "smoke",
+            "--cache-dir", cache_dir]
+
+    assert main(base) == 0
+    first = capsys.readouterr().out
+    assert "6 unique job(s): 0 resumed from sink, 6 executed" in first
+    assert "scaling-smoke.jsonl" in first
+    assert "| cores |" in first
+
+    assert main(["scenario", "resume", "scaling", "--scale", "smoke",
+                 "--cache-dir", cache_dir]) == 0
+    resumed = capsys.readouterr().out
+    assert "6 resumed from sink, 0 executed" in resumed
+
+    assert main(["scenario", "report", "scaling", "--scale", "smoke"]) == 0
+    report = capsys.readouterr().out
+    assert "| cores |" in report
+    assert "executed" not in report          # report never simulates
+
+
+def test_scenario_run_rejects_unknown_name(capsys):
+    assert main(["scenario", "run", "not-a-scenario"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario" in err
+    assert "figure2" in err                  # the error lists what exists
+
+
+def test_scenario_resume_requires_an_existing_sink(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path / "empty"))
+    assert main(["scenario", "resume", "scaling", "--scale", "smoke"]) == 1
+    assert "no sink" in capsys.readouterr().err
+
+
+def test_scenario_report_names_missing_jobs(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path / "empty"))
+    assert main(["scenario", "report", "scaling", "--scale", "smoke"]) == 1
+    err = capsys.readouterr().err
+    assert "0 of 6" in err
+    assert "scenario resume scaling" in err
+
+
+def test_scenario_modules_env_imports_custom_registrations(tmp_path, capsys, monkeypatch):
+    module = tmp_path / "my_custom_scenarios.py"
+    module.write_text(
+        "from repro.scenarios import GridAxes, Scenario, REGISTRY\n"
+        "from repro.sim.config import ArchConfig\n"
+        "if 'cli-test-custom' not in REGISTRY:\n"
+        "    REGISTRY.register(Scenario(\n"
+        "        name='cli-test-custom', description='registered via env hook',\n"
+        "        grid=GridAxes(problems=('vecadd',),\n"
+        "                      configs=(ArchConfig.from_name('1c2w2t'),)),\n"
+        "        analyze=lambda run: 'custom-ok'))\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setenv("REPRO_SCENARIO_MODULES", "my_custom_scenarios")
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "cli-test-custom" in out
+    assert "registered via env hook" in out
 
 
 def test_campaign_help_documents_cache_override(capsys):

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.autotuner import default_candidates, exhaustive_search
+from repro.core.autotuner import (
+    ExhaustiveSearchResult,
+    candidate_set,
+    default_candidates,
+    exhaustive_search,
+)
 from repro.core.optimizer import optimal_local_size
 from repro.runtime.device import Device
 from repro.sim.config import ArchConfig
@@ -24,6 +29,44 @@ def test_default_candidates_respect_the_cap():
     candidates = default_candidates(1 << 20, CONFIG, max_candidates=10)
     assert len(candidates) <= 12          # cap plus the guaranteed Eq.-1 value
     assert optimal_local_size(1 << 20, CONFIG) in candidates
+
+
+def test_candidate_set_is_explicit_about_truncation():
+    full = candidate_set(128, CONFIG)
+    assert not full.truncated
+    assert full.dropped == ()
+
+    capped = candidate_set(1 << 20, CONFIG, max_candidates=10)
+    assert capped.truncated
+    assert capped.dropped                      # names exactly what was skipped
+    assert optimal_local_size(1 << 20, CONFIG) in capped.candidates
+    # nothing is silently lost: candidates + dropped == the uncapped set
+    uncapped = candidate_set(1 << 20, CONFIG, max_candidates=10_000)
+    assert sorted(capped.candidates + capped.dropped) == list(uncapped.candidates)
+
+
+def test_exhaustive_search_records_truncation_state():
+    problem = make_problem("vecadd", scale="smoke")
+    device = Device(CONFIG)
+    result = exhaustive_search(device, problem.kernel, problem.arguments,
+                               problem.global_size)
+    assert not result.truncated                # 64 elements fit under the cap
+    assert result.dropped_candidates == ()
+    assert result.search_coverage == 1.0
+
+    explicit = exhaustive_search(device, problem.kernel, problem.arguments,
+                                 problem.global_size, candidates=[1, 64])
+    assert not explicit.truncated              # caller-chosen sets are exact
+
+
+def test_search_coverage_reflects_dropped_candidates():
+    result = ExhaustiveSearchResult(
+        config_name="2c2w4t", global_size=1 << 20,
+        cycles_by_lws={1: 100, 64: 50}, best_local_size=64, best_cycles=50,
+        eq1_local_size=64, eq1_cycles=50,
+        truncated=True, dropped_candidates=(2, 4, 8, 16, 32, 128))
+    assert result.truncated
+    assert result.search_coverage == pytest.approx(2 / 8)
 
 
 def test_exhaustive_search_finds_eq1_competitive(vecadd_problem=None):

@@ -8,9 +8,11 @@ from repro.workloads.images import random_conv_weights, random_feature_map, rand
 from repro.workloads.points import random_points
 from repro.workloads.problems import (
     PAPER_PROBLEM_NAMES,
+    SIZEABLE_PROBLEMS,
     UnknownProblemError,
     available_problems,
     make_problem,
+    problem_global_size,
 )
 from repro.workloads.tensors import random_matrix, random_vector
 
@@ -111,6 +113,26 @@ class TestProblems:
             make_problem("not_a_problem")
         with pytest.raises(UnknownProblemError):
             make_problem("vecadd", scale="gigantic")
+
+    @pytest.mark.parametrize("scale", ["smoke", "bench", "paper"])
+    @pytest.mark.parametrize("name", PAPER_PROBLEM_NAMES)
+    def test_problem_global_size_matches_the_built_problem(self, name, scale):
+        # the size-only view used by scenario planning must agree with the
+        # factory, data allocation excluded
+        assert problem_global_size(name, scale=scale, seed=3) == \
+               make_problem(name, scale=scale, seed=3).global_size
+
+    def test_problem_global_size_honours_overrides_and_validation(self):
+        for name in SIZEABLE_PROBLEMS:
+            assert problem_global_size(name, scale="bench", size=96) == 96
+        with pytest.raises(UnknownProblemError):
+            problem_global_size("sgemm", size=96)         # not sizeable
+        with pytest.raises(UnknownProblemError):
+            problem_global_size("vecadd", size=0)
+        with pytest.raises(UnknownProblemError):
+            problem_global_size("not_a_problem")
+        with pytest.raises(UnknownProblemError):
+            problem_global_size("vecadd", scale="gigantic")
 
     def test_paper_scale_sizes_match_the_paper(self):
         assert make_problem("vecadd", scale="paper").global_size == 4096
