@@ -1,0 +1,142 @@
+"""Benchmark -- the results warehouse: SQL analytics vs. JSONL re-parsing.
+
+The question the warehouse exists to answer: once campaign history grows to
+~100k journal records, how much faster is a cross-campaign aggregate served
+by the relational store than the only alternative the journals offer --
+re-parsing the whole JSONL file?  Both sides compute the same answer (best
+local size per kernel x machine, the ``best-lws`` canned query) and the
+benchmark asserts they agree bit-for-bit before timing anything.
+
+* baseline: stream the journal, keep the last-wins current-version view,
+  aggregate in Python -- the cheapest credible journal-side implementation
+  (no JobResult construction, just ``json.loads``).
+* warehouse: one ``best-lws`` SQL query against the synced sqlite store.
+
+Also measured: cold-sync ingest throughput (rows/second), reported in the
+benchmark's ``extra_info`` -- the one-off price of building the projection.
+
+``REPRO_WAREHOUSE_ROWS`` scales the synthetic journal (default 100_000).
+Results land in ``benchmarks/results/warehouse.md``.
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.campaign.journal import is_current_record, iter_journal_entries
+from repro.campaign.spec import CACHE_SCHEMA_VERSION, simulator_version
+from repro.warehouse import KIND_CACHE, open_store, run_canned, sync
+
+from benchmarks.conftest import write_result
+
+PROBLEMS = ("vecadd", "relu", "sgemm", "conv1d", "dot", "saxpy")
+CONFIGS = ("1c2w2t", "2c2w4t", "4c8w8t", "16c16w16t")
+
+#: The acceptance gate: at the default row count the SQL aggregate must beat
+#: the JSONL re-parse by at least this factor.  Tiny row counts (smoke CI)
+#: are dominated by fixed costs, so the gate only applies at scale.
+SPEEDUP_GATE = 10.0
+GATE_MIN_ROWS = 50_000
+
+
+def rows_from_env() -> int:
+    return int(os.environ.get("REPRO_WAREHOUSE_ROWS", "100000"))
+
+
+def synthesize_journal(path, rows: int) -> None:
+    """Write ``rows`` realistic cache-journal records (fixed seed)."""
+    rng = random.Random(0)
+    simulator = simulator_version()
+    with path.open("w") as journal:
+        for i in range(rows):
+            problem = PROBLEMS[i % len(PROBLEMS)]
+            config = CONFIGS[(i // 7) % len(CONFIGS)]
+            cycles = rng.randrange(1_000, 2_000_000)
+            record = {
+                "hash": f"h{i:07d}", "schema": CACHE_SCHEMA_VERSION,
+                "simulator": simulator, "spec": {"problem": problem},
+                "result": {
+                    "job_hash": f"h{i:07d}", "problem": problem,
+                    "category": "math", "config_name": config,
+                    "hardware_parallelism": 64, "global_size": 65536,
+                    "local_size": 1 << (i % 9), "num_workgroups": 512,
+                    "num_calls": 1, "cycles": cycles, "sim_cycles": cycles,
+                    "overhead_cycles": 0, "extrapolated": False,
+                    "lane_utilization": 0.5,
+                    "counters": {"cycles": float(cycles),
+                                 "instructions_executed": 10.0 * i},
+                    "elapsed_seconds": 0.01,
+                },
+            }
+            journal.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def jsonl_best_lws(path):
+    """The journal-side answer: full re-parse, last-wins, Python aggregate."""
+    view = {}
+    for record, _ in iter_journal_entries(path, complete_only=True):
+        if record is None or "hash" not in record:
+            continue
+        if not is_current_record(record):
+            continue
+        view[(record["hash"], record["simulator"], record["schema"])] = record
+    best = {}
+    for record in view.values():
+        result = record["result"]
+        key = (result["problem"], result["config_name"])
+        slot = (result["cycles"], result["local_size"])
+        if key not in best or slot < best[key]:
+            best[key] = slot
+    return {key: (lws, cycles) for key, (cycles, lws) in best.items()}
+
+
+@pytest.mark.benchmark(group="warehouse")
+def test_warehouse_aggregate_vs_jsonl_reload(benchmark, tmp_path):
+    rows = rows_from_env()
+    journal = tmp_path / "results.jsonl"
+    synthesize_journal(journal, rows)
+
+    # one-off projection build: cold sync, measured for rows/second
+    store = open_store(tmp_path / "warehouse.sqlite")
+    sync_started = time.perf_counter()
+    report = sync(store, journals=[(journal, KIND_CACHE)])
+    sync_seconds = time.perf_counter() - sync_started
+    assert report.ingested == rows
+
+    # the same aggregate both ways; answers must agree before timing counts
+    jsonl_started = time.perf_counter()
+    from_jsonl = jsonl_best_lws(journal)
+    jsonl_seconds = time.perf_counter() - jsonl_started
+    from_sql = {(problem, config): (lws, cycles) for problem, config, lws,
+                cycles in run_canned(store, "best-lws").rows}
+    assert from_sql == from_jsonl, "warehouse and journal must agree"
+
+    benchmark.pedantic(run_canned, args=(store, "best-lws"),
+                       rounds=3, iterations=1, warmup_rounds=0)
+    sql_seconds = benchmark.stats.stats.mean
+    speedup = jsonl_seconds / sql_seconds if sql_seconds else float("inf")
+    sync_rate = rows / sync_seconds if sync_seconds else float("inf")
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["jsonl_reload_seconds"] = round(jsonl_seconds, 3)
+    benchmark.extra_info["sql_seconds"] = round(sql_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    benchmark.extra_info["cold_sync_seconds"] = round(sync_seconds, 3)
+    benchmark.extra_info["cold_sync_rows_per_sec"] = round(sync_rate)
+    write_result("warehouse.md", "\n".join([
+        "# Results warehouse: SQL aggregate vs. JSONL re-load",
+        "",
+        f"journal rows        : {rows}",
+        f"jsonl re-load       : {jsonl_seconds:.3f} s",
+        f"warehouse SQL       : {sql_seconds:.4f} s",
+        f"speedup             : {speedup:.1f}x",
+        f"cold sync           : {sync_seconds:.3f} s "
+        f"({sync_rate:,.0f} rows/s)",
+    ]))
+    store.close()
+    if rows >= GATE_MIN_ROWS:
+        assert speedup >= SPEEDUP_GATE, (
+            f"warehouse must be >= {SPEEDUP_GATE}x faster than a JSONL "
+            f"re-load at {rows} rows, measured {speedup:.1f}x")

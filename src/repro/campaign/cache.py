@@ -28,6 +28,7 @@ from typing import Dict, Optional, Union
 
 from repro.campaign.journal import (
     is_current_record,
+    iter_journal_entries,
     iter_journal_lines,
     terminate_partial_tail,
 )
@@ -187,6 +188,23 @@ class ResultCache:
         except OSError:
             tmp_path.unlink(missing_ok=True)
             return False
+
+    # ------------------------------------------------------------------
+    def iter_entries(self, start: int = 0):
+        """Stream ``(record, end_offset)`` per usable journal line, in order.
+
+        Yields every parseable record carrying a ``hash`` -- including ones
+        written under other simulator versions -- one line at a time, so a
+        million-entry journal is never materialised in memory.  Corrupt
+        lines are skipped.  Last-wins semantics are the consumer's job: the
+        same hash may appear on several lines and the later one supersedes
+        (exactly how :meth:`_load` and the warehouse ingest treat the file).
+        ``end_offset`` is the byte offset after each line, usable as
+        ``start`` of a later incremental pass.
+        """
+        for record, offset in iter_journal_entries(self.journal_path, start):
+            if record is not None and "hash" in record:
+                yield record, offset
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

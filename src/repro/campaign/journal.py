@@ -7,6 +7,13 @@ one JSON object per line, corrupt lines tolerated (a killed writer's
 half-written tail), and records filtered by cache schema and simulator
 version on load.  That behaviour lives here once so the two journals cannot
 diverge.
+
+Iteration is *streaming*: :func:`iter_journal_entries` reads the file one
+line at a time (never the whole journal into memory) and reports the byte
+offset each line ends at, which is what the results warehouse
+(:mod:`repro.warehouse`) uses to sync incrementally -- a journal synced to
+offset N resumes ingesting at byte N, touching none of the already-ingested
+prefix.
 """
 
 from __future__ import annotations
@@ -14,30 +21,69 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.campaign.spec import CACHE_SCHEMA_VERSION, simulator_version
+
+
+def _parse_line(raw: bytes) -> Optional[Dict]:
+    """One journal line -> parsed JSON object, or ``None`` when corrupt."""
+    try:
+        record = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def iter_journal_entries(path: Path, start: int = 0,
+                         complete_only: bool = False,
+                         ) -> Iterator[Tuple[Optional[Dict], int]]:
+    """Stream ``(record_or_None, end_offset)`` per journal line from ``start``.
+
+    The journal is read incrementally (one line at a time, binary mode), so
+    arbitrarily large journals never materialise in memory.  ``end_offset``
+    is the byte offset immediately after the line's newline -- feeding it
+    back as ``start`` resumes iteration exactly where this one stopped.
+
+    A line that is not a JSON object (the classic half-written tail of a
+    dead process) yields ``None`` so callers can count it without crashing;
+    blank lines advance the offset without yielding.  The final line of a
+    journal whose writer died mid-record has no terminating newline: with
+    ``complete_only=True`` (the warehouse ingest mode) it is *not* yielded
+    and not consumed -- the offset stops before it, and a later sync picks
+    it up once the tail is terminated or overwritten; with the default
+    ``complete_only=False`` it is parsed like any other line (matching the
+    historical whole-file read).
+    """
+    if not path.exists():
+        return
+    offset = start
+    with path.open("rb") as journal:
+        journal.seek(start)
+        for raw in journal:
+            offset += len(raw)
+            if not raw.endswith(b"\n"):
+                # Unterminated tail: a writer may still be mid-append.
+                if complete_only:
+                    return
+                stripped = raw.strip()
+                if stripped:
+                    yield _parse_line(stripped), offset
+                return
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            yield _parse_line(stripped), offset
 
 
 def iter_journal_lines(path: Path) -> Iterator[Optional[Dict]]:
     """Yield one parsed JSON object per journal line, ``None`` when corrupt.
 
-    Blank lines are skipped entirely; a line that is not a JSON object (the
-    classic half-written tail of a dead process) yields ``None`` so callers
-    can count it without crashing.
+    Streaming wrapper over :func:`iter_journal_entries` for callers that do
+    not care about byte offsets (the cache and sink loaders).
     """
-    if not path.exists():
-        return
-    for line in path.read_text().splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            yield None
-            continue
-        yield record if isinstance(record, dict) else None
+    for record, _ in iter_journal_entries(path):
+        yield record
 
 
 def is_current_record(record: Dict) -> bool:

@@ -8,12 +8,15 @@ Exposes the library's main workflows without writing Python::
     python -m repro sweep   --kernels vecadd,sgemm --sweep smoke --scale bench -o sweep.json
     python -m repro report  sweep.json
     python -m repro campaign run --kernels vecadd --sweep smoke --workers 4
-    python -m repro campaign status
+    python -m repro campaign status [--source warehouse]
     python -m repro campaign clear-cache
     python -m repro scenario list
     python -m repro scenario run scaling --scale smoke --workers 4
     python -m repro scenario resume scaling --scale smoke
     python -m repro scenario report scaling --scale smoke
+    python -m repro warehouse sync
+    python -m repro warehouse query "SELECT problem, MIN(cycles) FROM jobs GROUP BY problem"
+    python -m repro warehouse report best-lws
     python -m repro --engine fast run sgemm --config 4c8w8t
 
 ``--engine {reference,fast}`` (or the ``REPRO_ENGINE`` environment variable)
@@ -32,6 +35,13 @@ plus the persistent result cache (``~/.cache/repro`` by default, overridden
 by ``REPRO_CACHE_DIR`` or ``--cache-dir``).  ``figure1``, ``sweep``,
 ``report`` and ``campaign run`` are thin aliases over the ported paper
 scenarios, kept for familiarity.
+
+``warehouse`` is the SQL analytics tier over everything the journals have
+recorded: ``sync`` ingests the cache and sink journals incrementally,
+``rebuild`` re-derives the whole store (and proves parity against the
+journals), ``status``/``query``/``report`` answer cross-campaign questions
+without re-parsing a single JSONL file.  The backend is stdlib sqlite by
+default; ``REPRO_WAREHOUSE_BACKEND=duckdb`` selects DuckDB where installed.
 """
 
 from __future__ import annotations
@@ -67,6 +77,19 @@ from repro.scenarios import (
 from repro.scenarios.library import figure2_result_from_run
 from repro.sim.config import ArchConfig
 from repro.sim.engine import DEFAULT_ENGINE, ENGINE_ENV, ENGINES
+from repro.warehouse import (
+    CANNED,
+    WarehouseError,
+    WarehouseSinkView,
+    journal_synced,
+    open_store,
+    parity_check,
+    rebuild as warehouse_rebuild,
+    render_status,
+    run_canned,
+    run_sql,
+    sync as warehouse_sync,
+)
 from repro.trace.render import render_issue_timeline, render_summary
 from repro.trace.tracer import Tracer
 from repro.workloads.problems import available_problems, make_problem
@@ -179,9 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     cstatus = campaign_sub.add_parser("status", parents=[_cache_options(no_cache=False)],
                                       help="show the result-cache state")
+    cstatus.add_argument("--source", choices=("journal", "warehouse"), default="journal",
+                         help="serve the status from the JSONL journal (default) or "
+                              "from the synced warehouse (per-table row counts and "
+                              "last-sync offsets instead of raw journal lines)")
+    cstatus.add_argument("--db", default=None,
+                         help="warehouse database path (with --source warehouse)")
+    cstatus.add_argument("--backend", choices=("sqlite", "duckdb"), default=None,
+                         help="warehouse backend (with --source warehouse)")
     cclear = campaign_sub.add_parser("clear-cache", parents=[_cache_options(no_cache=False)],
                                      help="delete the persistent result cache")
-    del cstatus, cclear
+    del cclear
 
     scenario = sub.add_parser(
         "scenario",
@@ -223,6 +254,75 @@ def build_parser() -> argparse.ArgumentParser:
     sreport.add_argument("--sink", default=None,
                          help="JSONL sink path (default: "
                               "scenario-runs/<name>-<scale>.jsonl)")
+    sreport.add_argument("--source", choices=("auto", "journal", "warehouse"),
+                         default="auto",
+                         help="where the records come from: the JSONL sink, the "
+                              "synced warehouse, or auto (warehouse when it fully "
+                              "covers the sink, journal otherwise; default)")
+    sreport.add_argument("--db", default=None,
+                         help="warehouse database path (for --source warehouse/auto)")
+    sreport.add_argument("--backend", choices=("sqlite", "duckdb"), default=None,
+                         help="warehouse backend (for --source warehouse/auto)")
+
+    warehouse = sub.add_parser(
+        "warehouse",
+        help="SQL analytics over every journaled result (sync/rebuild/status/"
+             "query/report)",
+        description="Derive a SQL-queryable warehouse from the append-only "
+                    "JSONL journals (campaign cache + scenario sinks).  The "
+                    "journals stay the source of truth: sync ingests them "
+                    "incrementally by byte offset, rebuild re-derives the "
+                    "whole store and proves the rows bit-equal to the "
+                    "journals' last-wins view.",
+        epilog="Backend: stdlib sqlite by default; select DuckDB with "
+               "--backend duckdb or REPRO_WAREHOUSE_BACKEND=duckdb "
+               "(explicit error if the duckdb package is missing -- never a "
+               "silent fallback).  The database lives next to the cache "
+               "(warehouse.<backend>) unless --db or REPRO_WAREHOUSE_PATH "
+               "says otherwise.",
+    )
+    warehouse_sub = warehouse.add_subparsers(dest="warehouse_command", required=True)
+    wh_common = argparse.ArgumentParser(add_help=False)
+    wh_common.add_argument("--db", default=None,
+                           help="warehouse database path (default: "
+                                "<cache dir>/warehouse.<backend>, or "
+                                "$REPRO_WAREHOUSE_PATH)")
+    wh_common.add_argument("--backend", choices=("sqlite", "duckdb"), default=None,
+                           help="storage backend (default: "
+                                "$REPRO_WAREHOUSE_BACKEND or sqlite)")
+    wh_journals = argparse.ArgumentParser(add_help=False)
+    wh_journals.add_argument("--cache-dir", default=None,
+                             help="campaign cache directory to ingest "
+                                  f"(default: ${CACHE_DIR_ENV} or ~/.cache/repro)")
+    wh_journals.add_argument("--scenario-dir", default=None,
+                             help="scenario sink directory to ingest (default: "
+                                  "$REPRO_SCENARIO_DIR or scenario-runs/)")
+
+    wsync = warehouse_sub.add_parser(
+        "sync", parents=[wh_common, wh_journals],
+        help="ingest new journal records incrementally (by byte offset)")
+    wsync.add_argument("--full", action="store_true",
+                       help="re-ingest every journal from byte zero")
+    wrebuild = warehouse_sub.add_parser(
+        "rebuild", parents=[wh_common, wh_journals],
+        help="drop every derived row, re-ingest all journals, verify parity")
+    wrebuild.add_argument("--no-verify", action="store_true",
+                          help="skip the journal-parity proof after rebuilding")
+    warehouse_sub.add_parser(
+        "status", parents=[wh_common],
+        help="per-table row counts and per-journal sync offsets")
+    wquery = warehouse_sub.add_parser(
+        "query", parents=[wh_common],
+        help="run one read-only SQL statement (SELECT/WITH) against the store")
+    wquery.add_argument("sql", help="the statement, e.g. "
+                        "\"SELECT problem, MIN(cycles) FROM jobs GROUP BY problem\"")
+    wreport = warehouse_sub.add_parser(
+        "report", parents=[wh_common],
+        help="run a canned analytics query (see --list)")
+    wreport.add_argument("name", nargs="?", default=None,
+                         help="canned query name (omit with --list)")
+    wreport.add_argument("--list", action="store_true",
+                         help="list the canned queries and exit")
     return parser
 
 
@@ -328,6 +428,16 @@ def _cmd_report(args) -> int:
 
 def _cmd_campaign(args) -> int:
     if args.campaign_command == "status":
+        if args.source == "warehouse":
+            # Million-row status is a SQL aggregate over the synced store,
+            # not a full JSONL re-parse.
+            try:
+                with _closing_store(args.db, args.backend) as store:
+                    print(render_status(store))
+            except WarehouseError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            return 0
         cache = ResultCache(args.cache_dir)
         print(cache.stats().render())
         return 0
@@ -352,6 +462,69 @@ def _cmd_campaign(args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _closing_store(db, backend, read_only: bool = False):
+    """An ``open_store`` wrapped so every CLI exit path closes the handle."""
+    import contextlib
+
+    return contextlib.closing(open_store(db, backend=backend, read_only=read_only))
+
+
+def _cmd_warehouse(args) -> int:
+    try:
+        if args.warehouse_command == "sync":
+            with _closing_store(args.db, args.backend) as store:
+                report = warehouse_sync(store, cache_dir=args.cache_dir,
+                                        scenario_dir=args.scenario_dir,
+                                        full=args.full)
+                print(report.render())
+            return 0
+
+        if args.warehouse_command == "rebuild":
+            with _closing_store(args.db, args.backend) as store:
+                report = warehouse_rebuild(store, cache_dir=args.cache_dir,
+                                           scenario_dir=args.scenario_dir)
+                print(report.render())
+                if not args.no_verify:
+                    mismatches = parity_check(store, cache_dir=args.cache_dir,
+                                              scenario_dir=args.scenario_dir)
+                    if mismatches:
+                        detail = "\n".join(mismatches)
+                        print(f"parity check FAILED:\n{detail}", file=sys.stderr)
+                        return 1
+                    print("parity check passed: warehouse rows bit-equal to "
+                          "the journals' last-wins view")
+            return 0
+
+        if args.warehouse_command == "status":
+            with _closing_store(args.db, args.backend) as store:
+                print(render_status(store))
+            return 0
+
+        if args.warehouse_command == "query":
+            # Read-only connection: raw SQL physically cannot write.
+            with _closing_store(args.db, args.backend, read_only=True) as store:
+                print(run_sql(store, args.sql).render())
+            return 0
+
+        # warehouse report
+        if args.list or args.name is None:
+            rows = [[canned.name, canned.description]
+                    for canned in CANNED.values()]
+            print(render_table(["query", "answers"], rows))
+            return 0
+        with _closing_store(args.db, args.backend, read_only=True) as store:
+            result = run_canned(store, args.name)
+            print(result.render())
+            if not result.rows:
+                print("(no rows -- has `repro warehouse sync` run since the "
+                      "last campaign?)")
+        return 0
+    except WarehouseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+# ----------------------------------------------------------------------
 #: Comma-separated modules imported before scenario commands run, so custom
 #: scenarios registered at import time appear in list/run/resume/report.
 SCENARIO_MODULES_ENV = "REPRO_SCENARIO_MODULES"
@@ -364,6 +537,28 @@ def _import_scenario_modules() -> None:
         module = module.strip()
         if module:
             importlib.import_module(module)
+
+
+def _report_source(args, sink: ResultSink):
+    """Where ``scenario report`` reads records from: sink or warehouse.
+
+    ``--source warehouse`` demands the synced store (and errors when the
+    sink journal is not fully ingested -- serving a stale projection would
+    silently drop recent records).  ``--source auto`` prefers the warehouse
+    exactly when it fully covers the sink file, so a freshly appended
+    journal transparently falls back to the JSONL path until the next sync.
+    """
+    if args.source == "journal":
+        return sink
+    store = open_store(args.db, backend=args.backend)
+    if journal_synced(store, sink.path):
+        return WarehouseSinkView(store, sink.path)
+    store.close()
+    if args.source == "warehouse":
+        raise WarehouseError(
+            f"the warehouse does not (fully) cover {sink.path}; run "
+            f"`repro warehouse sync` first, or use --source journal")
+    return sink
 
 
 def _cmd_scenario(args) -> int:
@@ -390,13 +585,18 @@ def _cmd_scenario(args) -> int:
 
     if args.scenario_command == "report":
         planner = Planner()
+        source = None
         try:
-            run = planner.load(scenario, context, sink=sink)
-        except ScenarioError as error:
+            source = _report_source(args, sink)
+            run = planner.load(scenario, context, sink=source)
+            print(run.report())
+            return 0
+        except (ScenarioError, WarehouseError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
-        print(run.report())
-        return 0
+        finally:
+            if isinstance(source, WarehouseSinkView):
+                source.store.close()
 
     if args.scenario_command == "resume" and not sink.exists():
         print(f"error: no sink at {sink.path} to resume from; "
@@ -430,6 +630,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "campaign": _cmd_campaign,
     "scenario": _cmd_scenario,
+    "warehouse": _cmd_warehouse,
 }
 
 

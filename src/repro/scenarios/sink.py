@@ -21,7 +21,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, Iterator, Mapping, Optional, Union
 
 from repro.campaign.journal import (
     is_current_record,
@@ -106,24 +106,37 @@ class ResultSink:
     def exists(self) -> bool:
         return self.path.exists()
 
-    def load(self) -> Dict[str, SinkRecord]:
-        """Read the journal into ``{key: record}`` (last record per key wins).
+    def iter_records(self) -> Iterator[SinkRecord]:
+        """Stream every usable record in journal (append) order.
 
-        Lines that are corrupt (partial writes), from another simulator
-        version or from another cache schema are counted in ``skipped`` and
-        otherwise ignored.
+        The journal is read one line at a time -- a million-record sink never
+        materialises in memory.  Lines that are corrupt (partial writes),
+        from another simulator version or from another cache schema are
+        counted in ``skipped`` (reset when iteration starts) and otherwise
+        ignored.  The same key may be yielded more than once; the *last*
+        record per key is the journal's truth (:meth:`load` applies that
+        fold, streaming consumers such as the warehouse ingest apply it
+        themselves via upserts).
         """
-        records: Dict[str, SinkRecord] = {}
         self.skipped = 0
         for data in iter_journal_lines(self.path):
             try:
                 if data is None or not is_current_record(data):
                     self.skipped += 1
                     continue
-                record = SinkRecord.from_dict(data)
-                records[record.key] = record
+                yield SinkRecord.from_dict(data)
             except (KeyError, TypeError, ValueError):
                 self.skipped += 1      # half-written line from a killed run
+
+    def load(self) -> Dict[str, SinkRecord]:
+        """Read the journal into ``{key: record}`` (last record per key wins).
+
+        Streaming fold over :meth:`iter_records`; ``skipped`` counts the
+        unusable lines seen.
+        """
+        records: Dict[str, SinkRecord] = {}
+        for record in self.iter_records():
+            records[record.key] = record
         return records
 
     def _ensure_trailing_newline(self) -> None:

@@ -1,0 +1,108 @@
+"""Queryable results warehouse: SQL analytics over every result ever journaled.
+
+The campaign cache and the scenario sinks journal every completed job as
+append-only JSONL -- write-optimised, crash-safe, and unqueryable at scale:
+any cross-campaign question means re-parsing whole files.  This subsystem
+derives a *second, relational tier* from those journals without demoting
+them: the JSONL stays the source of truth, the warehouse is a rebuildable
+projection of it (the same ledger/projection split the Engram-style designs
+use, and S2RDF's move of translating a log-structured model into relational
+tables to make analytics tractable).
+
+* :mod:`~repro.warehouse.store` -- the :class:`ResultStore` protocol and
+  :func:`open_store`: a stdlib ``sqlite3`` backend always available, an
+  optional DuckDB backend behind ``REPRO_WAREHOUSE_BACKEND=duckdb``
+  (import-guarded; explicitly errors when requested but missing).
+* :mod:`~repro.warehouse.schema` -- the normalized tables: ``jobs``,
+  ``scenario_runs``, ``counters``, plus per-journal sync state.
+* :mod:`~repro.warehouse.ingest` -- streaming journal ingest: incremental
+  :func:`sync` via per-journal byte offsets (rewrites detected by prefix
+  hash), idempotent full :func:`rebuild`, and :func:`parity_check` proving
+  warehouse rows bit-equal to the journals' last-wins view.
+* :mod:`~repro.warehouse.queries` -- canned analytics (``best-lws``,
+  ``speedup``, ``cache-trends``, ``scenarios``), guarded raw SQL, status
+  rendering, and the warehouse-backed sink view ``scenario report`` serves
+  from.
+
+Quick start::
+
+    from repro.warehouse import open_store, sync, run_canned
+
+    store = open_store()                       # ~/.cache/repro/warehouse.sqlite
+    print(sync(store).render())                # ingest cache + sink journals
+    print(run_canned(store, "best-lws").render())
+
+CLI: ``repro warehouse sync | rebuild | status | query | report``.
+"""
+
+from repro.warehouse.ingest import (
+    JournalSyncResult,
+    SyncReport,
+    discover_journals,
+    journal_id,
+    parity_check,
+    rebuild,
+    sync,
+)
+from repro.warehouse.queries import (
+    CANNED,
+    CannedQuery,
+    WarehouseSinkView,
+    journal_synced,
+    render_status,
+    run_canned,
+    run_sql,
+    sink_records,
+    table_counts,
+)
+from repro.warehouse.schema import (
+    KIND_CACHE,
+    KIND_SINK,
+    WAREHOUSE_SCHEMA_VERSION,
+)
+from repro.warehouse.store import (
+    BACKEND_ENV,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    PATH_ENV,
+    BackendUnavailableError,
+    QueryResult,
+    ResultStore,
+    WarehouseError,
+    default_warehouse_path,
+    open_store,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "BackendUnavailableError",
+    "CANNED",
+    "CannedQuery",
+    "DEFAULT_BACKEND",
+    "JournalSyncResult",
+    "KIND_CACHE",
+    "KIND_SINK",
+    "PATH_ENV",
+    "QueryResult",
+    "ResultStore",
+    "SyncReport",
+    "WAREHOUSE_SCHEMA_VERSION",
+    "WarehouseError",
+    "WarehouseSinkView",
+    "default_warehouse_path",
+    "discover_journals",
+    "journal_id",
+    "journal_synced",
+    "open_store",
+    "parity_check",
+    "rebuild",
+    "render_status",
+    "resolve_backend",
+    "run_canned",
+    "run_sql",
+    "sink_records",
+    "sync",
+    "table_counts",
+]

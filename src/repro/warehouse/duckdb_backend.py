@@ -1,0 +1,81 @@
+"""The optional DuckDB warehouse backend (columnar, vectorised analytics).
+
+DuckDB is deliberately *not* a dependency of the repository: this module
+imports it lazily and degrades to an explicit
+:class:`~repro.warehouse.store.BackendUnavailableError` when the package is
+missing.  Selecting the backend (``REPRO_WAREHOUSE_BACKEND=duckdb`` or
+``--backend duckdb``) on a machine without it must fail loudly -- silently
+serving sqlite instead would misreport every benchmark comparison between
+the two.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.warehouse.store import (
+    BackendUnavailableError,
+    QueryResult,
+    WarehouseError,
+)
+
+try:
+    import duckdb
+except ImportError:                                    # pragma: no cover
+    duckdb = None
+
+
+class DuckDBStore:
+    """:class:`~repro.warehouse.store.ResultStore` over DuckDB.
+
+    The SQL surface the warehouse uses (qmark parameters, ``INSERT OR
+    REPLACE``, ``CREATE TABLE IF NOT EXISTS``) is native DuckDB, so this
+    backend is connection plumbing only.
+    """
+
+    backend = "duckdb"
+
+    def __init__(self, path: Path, read_only: bool = False):
+        if duckdb is None:
+            raise BackendUnavailableError(
+                "the 'duckdb' backend was requested but the duckdb package "
+                "is not installed; install duckdb or use the default sqlite "
+                "backend (REPRO_WAREHOUSE_BACKEND=sqlite)")
+        self.path = Path(path)
+        self.read_only = read_only
+        if read_only and not self.path.exists():
+            raise WarehouseError(
+                f"no warehouse at {self.path}; run `repro warehouse sync` first")
+        if not read_only:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = duckdb.connect(str(self.path), read_only=read_only)
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence = ()) -> None:
+        self._conn.execute(sql, list(params))
+
+    def executemany(self, sql: str, rows: Sequence[Sequence]) -> None:
+        if rows:
+            self._conn.executemany(sql, [list(row) for row in rows])
+
+    def query(self, sql: str, params: Sequence = ()) -> QueryResult:
+        try:
+            cursor = self._conn.execute(sql, list(params))
+        except Exception as error:      # duckdb raises its own hierarchy
+            raise WarehouseError(f"duckdb query failed: {error}") from error
+        columns = tuple(d[0] for d in cursor.description) if cursor.description else ()
+        return QueryResult(columns=columns, rows=[tuple(r) for r in cursor.fetchall()])
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "DuckDBStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

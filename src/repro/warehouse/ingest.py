@@ -1,0 +1,384 @@
+"""Journal -> warehouse ingest: incremental sync, full rebuild, parity proof.
+
+The JSONL journals (campaign cache + scenario sinks) remain the append-only
+source of truth; this module derives the relational warehouse from them.
+
+*Incremental sync* keeps a per-journal byte offset plus a hash of the entire
+ingested prefix.  A sync re-hashes the prefix (cheap: no JSON parsing) --
+if it matches and the file only grew, ingest resumes at the stored offset,
+parsing nothing twice; if it does not (the cache compacts superseded lines
+in place, a sink was reset), that journal's rows are dropped and re-ingested
+from byte zero.  Either way the result is identical to a fresh rebuild --
+"sync then sync again" is a provable no-op, which the tests assert.
+
+*Last-wins* mirrors the journals' own load semantics: records upsert on the
+same key the loaders deduplicate by -- ``(hash, simulator, schema)`` for
+cache records, ``(key, simulator, schema)`` for sink records -- in journal
+order, so the later line wins exactly as in
+:meth:`~repro.campaign.cache.ResultCache._load` and
+:meth:`~repro.scenarios.sink.ResultSink.load`.
+
+*Parity* (:func:`parity_check`) recomputes the journals' last-wins view
+(complete, parseable lines only -- a half-written tail is invisible to both
+sides) and compares it bit-for-bit against the warehouse rows via their
+canonical JSON.  ``repro warehouse rebuild`` runs it by default.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.campaign.cache import CACHE_FILE_NAME, default_cache_dir
+from repro.campaign.journal import iter_journal_entries
+from repro.campaign.result import JobResult
+from repro.scenarios.sink import default_sink_dir
+from repro.warehouse.schema import KIND_CACHE, KIND_SINK, RECORD_TABLES
+from repro.warehouse.store import ResultStore
+
+#: Rows buffered per executemany flush during ingest.
+BATCH_SIZE = 1000
+
+JournalSpec = Tuple[Path, str]          # (path, KIND_CACHE | KIND_SINK)
+
+
+def journal_id(path: Union[str, Path]) -> str:
+    """The canonical warehouse key of one journal file."""
+    return str(Path(path).expanduser().resolve())
+
+
+def discover_journals(cache_dir: Optional[Union[str, Path]] = None,
+                      scenario_dir: Optional[Union[str, Path]] = None,
+                      ) -> List[JournalSpec]:
+    """Every journal the warehouse should track: the cache + all sinks.
+
+    ``cache_dir``/``scenario_dir`` default to the same resolution the cache
+    and sink use themselves (``REPRO_CACHE_DIR``, ``REPRO_SCENARIO_DIR``),
+    so `repro warehouse sync` with no flags tracks exactly what `repro
+    campaign`/`repro scenario` wrote.
+    """
+    cache_base = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+    sink_base = Path(scenario_dir).expanduser() if scenario_dir else default_sink_dir()
+    journals: List[JournalSpec] = [(cache_base / CACHE_FILE_NAME, KIND_CACHE)]
+    if sink_base.is_dir():
+        journals.extend((path, KIND_SINK)
+                        for path in sorted(sink_base.glob("*.jsonl")))
+    return journals
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JournalSyncResult:
+    """Accounting for one journal in one sync pass."""
+
+    journal: str
+    kind: str
+    ingested: int              # rows upserted by this pass
+    skipped: int               # unusable lines seen by this pass
+    offset: int                # byte offset now ingested up to
+    resynced: bool             # journal was rewritten -> rows rebuilt from 0
+
+    def render(self) -> str:
+        origin = "resync" if self.resynced else "incremental"
+        return (f"{self.journal} [{self.kind}]: +{self.ingested} row(s), "
+                f"{self.skipped} skipped, offset {self.offset} ({origin})")
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """Accounting for one :func:`sync` call."""
+
+    journals: Tuple[JournalSyncResult, ...]
+
+    @property
+    def ingested(self) -> int:
+        return sum(j.ingested for j in self.journals)
+
+    def render(self) -> str:
+        if not self.journals:
+            return "no journals found to sync"
+        lines = [j.render() for j in self.journals]
+        lines.append(f"{self.ingested} row(s) ingested across "
+                     f"{len(self.journals)} journal(s)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _prefix_hash(path: Path, length: int) -> str:
+    """SHA-256 of the first ``length`` bytes (streamed, constant memory)."""
+    digest = hashlib.sha256()
+    remaining = length
+    with path.open("rb") as handle:
+        while remaining > 0:
+            chunk = handle.read(min(1 << 20, remaining))
+            if not chunk:
+                break
+            digest.update(chunk)
+            remaining -= len(chunk)
+    return digest.hexdigest()
+
+
+def _canonical(record: Dict) -> str:
+    """The canonical JSON a record is stored and compared as."""
+    return json.dumps(record, sort_keys=True)
+
+
+def _versions(record: Dict) -> Optional[Tuple[str, int]]:
+    """``(simulator, schema)`` when both stamps are present and well-formed."""
+    try:
+        return str(record["simulator"]), int(record["schema"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _job_row(jid: str, record: Dict) -> Optional[Tuple[tuple, tuple, List[tuple]]]:
+    """One cache record -> ``(slot_key, jobs row, counters rows)`` or None."""
+    versions = _versions(record)
+    if versions is None or "hash" not in record:
+        return None
+    simulator, schema = versions
+    try:
+        result = JobResult.from_dict(record["result"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    job_hash = str(record["hash"])
+    slot = (jid, job_hash, simulator, schema)
+    row = slot + (
+        result.problem, result.category, result.config_name,
+        result.hardware_parallelism, result.global_size, result.local_size,
+        result.num_workgroups, result.num_calls, result.cycles,
+        result.sim_cycles, result.overhead_cycles, int(result.extrapolated),
+        result.lane_utilization, result.elapsed_seconds, _canonical(record),
+    )
+    counters = [slot + (name, float(value))
+                for name, value in result.counters.items()]
+    return (jid, job_hash, simulator, schema), row, counters
+
+
+def _int_or_none(value) -> Optional[int]:
+    try:
+        return None if value is None else int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _run_row(jid: str, record: Dict) -> Optional[Tuple[tuple, tuple, List[tuple]]]:
+    """One sink record -> ``(slot_key, scenario_runs row, counters rows)``."""
+    versions = _versions(record)
+    if versions is None:
+        return None
+    simulator, schema = versions
+    try:
+        key = str(record["key"])
+        job_hash = str(record["hash"])
+        scenario = str(record["scenario"])
+        result = JobResult.from_dict(record["result"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    meta = record.get("meta") or {}
+    slot = (jid, key, simulator, schema)
+    engine = meta.get("engine")
+    row = slot + (
+        scenario, job_hash, result.problem, result.category,
+        result.config_name,
+        str(meta["strategy"]) if "strategy" in meta else None,
+        None if engine is None else str(engine),
+        _int_or_none(meta.get("seed")),
+        str(meta["scale"]) if "scale" in meta else None,
+        _int_or_none(meta.get("gws")),
+        result.local_size, result.cycles, result.lane_utilization,
+        result.elapsed_seconds, _canonical(meta), _canonical(record),
+    )
+    counters = [slot + (name, float(value))
+                for name, value in result.counters.items()]
+    return (jid, key, simulator, schema), row, counters
+
+
+_JOBS_SQL = ("INSERT OR REPLACE INTO jobs VALUES (" + ",".join("?" * 19) + ")")
+_RUNS_SQL = ("INSERT OR REPLACE INTO scenario_runs VALUES ("
+             + ",".join("?" * 20) + ")")
+_COUNTER_DEL_SQL = ("DELETE FROM counters WHERE journal = ? AND key = ? "
+                    "AND simulator = ? AND schema_version = ?")
+_COUNTER_SQL = "INSERT OR REPLACE INTO counters VALUES (?,?,?,?,?,?)"
+
+
+def _delete_journal_rows(store: ResultStore, jid: str) -> None:
+    for table in RECORD_TABLES:
+        store.execute(f"DELETE FROM {table} WHERE journal = ?", (jid,))
+
+
+def _sync_journal(store: ResultStore, path: Path, kind: str,
+                  full: bool) -> JournalSyncResult:
+    jid = journal_id(path)
+    state = store.query(
+        "SELECT offset, head_len, head_hash, rows, skipped FROM journals "
+        "WHERE journal = ?", (jid,)).rows
+    if not path.exists():
+        # A journal the warehouse knew about disappeared (cache cleared,
+        # sink reset): its derived rows must go too.
+        _delete_journal_rows(store, jid)
+        store.execute("DELETE FROM journals WHERE journal = ?", (jid,))
+        store.commit()
+        return JournalSyncResult(journal=jid, kind=kind, ingested=0,
+                                 skipped=0, offset=0, resynced=bool(state))
+
+    size = path.stat().st_size
+    offset, head_len, head_hash, rows_total, skipped_total = (
+        state[0] if state else (0, 0, "", 0, 0))
+    resync = full or not state
+    if not resync and (size < offset
+                       or _prefix_hash(path, head_len) != head_hash):
+        # The ingested prefix changed under us: the cache compacted
+        # superseded lines in place, or the journal was replaced wholesale.
+        resync = True
+    if resync:
+        _delete_journal_rows(store, jid)
+        offset = rows_total = skipped_total = 0
+
+    ingested = skipped = 0
+    row_builder = _job_row if kind == KIND_CACHE else _run_row
+    insert_sql = _JOBS_SQL if kind == KIND_CACHE else _RUNS_SQL
+    rows: List[tuple] = []
+    counter_slots: List[tuple] = []
+    counter_rows: List[tuple] = []
+
+    def flush() -> None:
+        if not rows:
+            return
+        store.executemany(insert_sql, rows)
+        store.executemany(_COUNTER_DEL_SQL, counter_slots)
+        store.executemany(_COUNTER_SQL, counter_rows)
+        rows.clear()
+        counter_slots.clear()
+        counter_rows.clear()
+
+    for record, end in iter_journal_entries(path, offset, complete_only=True):
+        built = None if record is None else row_builder(jid, record)
+        if built is None:
+            skipped += 1
+        else:
+            slot, row, counters = built
+            rows.append(row)
+            counter_slots.append(slot)
+            counter_rows.extend(counters)
+            ingested += 1
+            if len(rows) >= BATCH_SIZE:
+                flush()
+        offset = end
+    flush()
+
+    store.execute(
+        "INSERT OR REPLACE INTO journals VALUES (?,?,?,?,?,?,?,?)",
+        (jid, kind, offset, offset, _prefix_hash(path, offset),
+         rows_total + ingested, skipped_total + skipped, time.time()))
+    store.commit()
+    return JournalSyncResult(journal=jid, kind=kind, ingested=ingested,
+                             skipped=skipped, offset=offset, resynced=resync)
+
+
+# ----------------------------------------------------------------------
+def sync(store: ResultStore,
+         cache_dir: Optional[Union[str, Path]] = None,
+         scenario_dir: Optional[Union[str, Path]] = None,
+         journals: Optional[Iterable[JournalSpec]] = None,
+         full: bool = False) -> SyncReport:
+    """Bring the warehouse up to date with the journals (incrementally).
+
+    ``journals`` overrides discovery for callers that track an explicit set;
+    everyone else gets the cache journal plus every sink in the scenario
+    directory.  ``full=True`` forces a from-zero resync of every journal
+    without touching other journals' rows.
+    """
+    specs = list(journals) if journals is not None else discover_journals(
+        cache_dir, scenario_dir)
+    results = tuple(_sync_journal(store, Path(path), kind, full)
+                    for path, kind in specs)
+    return SyncReport(journals=results)
+
+
+def rebuild(store: ResultStore,
+            cache_dir: Optional[Union[str, Path]] = None,
+            scenario_dir: Optional[Union[str, Path]] = None,
+            journals: Optional[Iterable[JournalSpec]] = None) -> SyncReport:
+    """Drop every derived row and re-ingest all journals from byte zero.
+
+    Idempotent by construction: the warehouse after ``rebuild`` is a pure
+    function of the journals' bytes, so rebuilding twice -- or rebuilding
+    after any sequence of incremental syncs -- lands on identical contents
+    (:func:`parity_check` proves it against the journals themselves).
+    """
+    for table in RECORD_TABLES:
+        store.execute(f"DELETE FROM {table}")
+    store.execute("DELETE FROM journals")
+    store.commit()
+    return sync(store, cache_dir=cache_dir, scenario_dir=scenario_dir,
+                journals=journals, full=True)
+
+
+# ----------------------------------------------------------------------
+def _journal_view(path: Path, kind: str) -> Dict[tuple, str]:
+    """The journal's last-wins view: slot key -> canonical record JSON.
+
+    Complete, parseable, version-stamped lines only -- the same records
+    ingest accepts -- folded last-wins on the same slot key ingest upserts
+    on.  This is recomputed straight from the journal bytes, sharing no
+    code path with the warehouse contents it is compared against.
+    """
+    jid = journal_id(path)
+    row_builder = _job_row if kind == KIND_CACHE else _run_row
+    view: Dict[tuple, str] = {}
+    for record, _ in iter_journal_entries(path, 0, complete_only=True):
+        built = None if record is None else row_builder(jid, record)
+        if built is not None:
+            slot, row, _counters = built
+            view[slot] = row[-1]          # the canonical JSON column
+    return view
+
+
+def parity_check(store: ResultStore,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 scenario_dir: Optional[Union[str, Path]] = None,
+                 journals: Optional[Iterable[JournalSpec]] = None) -> List[str]:
+    """Prove warehouse rows bit-equal to the journals' last-wins view.
+
+    Returns a list of human-readable mismatches (empty = parity holds):
+    missing rows, phantom rows, rows whose canonical JSON differs, and
+    counter rows whose count disagrees with the journal's records.
+    """
+    specs = list(journals) if journals is not None else discover_journals(
+        cache_dir, scenario_dir)
+    mismatches: List[str] = []
+    for path, kind in specs:
+        path = Path(path)
+        jid = journal_id(path)
+        expected = _journal_view(path, kind) if path.exists() else {}
+        table = "jobs" if kind == KIND_CACHE else "scenario_runs"
+        key_col = "hash" if kind == KIND_CACHE else "key"
+        got = {
+            (jid, row[0], row[1], int(row[2])): row[3]
+            for row in store.query(
+                f"SELECT {key_col}, simulator, schema_version, raw "
+                f"FROM {table} WHERE journal = ?", (jid,)).rows
+        }
+        for slot in expected.keys() - got.keys():
+            mismatches.append(f"{jid}: missing {table} row {slot[1]}")
+        for slot in got.keys() - expected.keys():
+            mismatches.append(f"{jid}: phantom {table} row {slot[1]}")
+        for slot in expected.keys() & got.keys():
+            if expected[slot] != got[slot]:
+                mismatches.append(f"{jid}: {table} row {slot[1]} differs "
+                                  f"from the journal's last-wins record")
+        expected_counters = sum(
+            len(json.loads(raw)["result"].get("counters", {}))
+            for raw in expected.values())
+        counted = store.query(
+            "SELECT COUNT(*) FROM counters WHERE journal = ?", (jid,)).rows[0][0]
+        if counted != expected_counters:
+            mismatches.append(
+                f"{jid}: {counted} counter row(s) vs {expected_counters} "
+                f"in the journal view")
+    return mismatches

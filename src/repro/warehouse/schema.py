@@ -1,0 +1,133 @@
+"""The warehouse's relational schema, shared by every backend.
+
+The JSONL journals stay the append-only source of truth; the warehouse is a
+*derived* store the journals are synced (or fully rebuilt) into, so the DDL
+below is deliberately written in the dialect subset that both stdlib
+``sqlite3`` and DuckDB accept verbatim -- plain ``CREATE TABLE IF NOT
+EXISTS``, qmark parameters, ``INSERT OR REPLACE`` upserts.
+
+Tables
+------
+``jobs``
+    One row per cache-journal record, last-wins per ``(journal, hash,
+    simulator, schema_version)`` -- exactly the key the cache itself keeps
+    when it loads and compacts.  Columns flatten the
+    :class:`~repro.campaign.result.JobResult` summary; ``raw`` preserves the
+    canonical journal line so rebuild parity is provable bit-for-bit and a
+    record can always be reconstructed.
+``scenario_runs``
+    One row per scenario-sink record, last-wins per ``(journal, key,
+    simulator, schema_version)``.  Planner meta tags (strategy, engine,
+    seed, ...) are flattened into columns so cross-scenario SQL never parses
+    JSON; the full meta dict and the canonical line ride along as text.
+``counters``
+    The normalized performance-counter rows of both record kinds: one
+    ``(journal, key, name, value)`` row per counter, keyed alongside the
+    owning record's version columns.
+``journals``
+    Per-journal sync state: the byte offset ingested so far, a hash of the
+    journal's head (so an in-place compaction/rewrite is detected and
+    triggers a clean resync of that journal), and row accounting.
+``meta``
+    The warehouse's own schema version; a bump drops and recreates
+    everything on next open (the journals rebuild it).
+"""
+
+from __future__ import annotations
+
+#: Bump when the warehouse table layout changes; mismatched stores are
+#: dropped and rebuilt from the journals on next open.
+WAREHOUSE_SCHEMA_VERSION = 1
+
+#: Journal kinds (the ``journals.kind`` column).
+KIND_CACHE = "cache"
+KIND_SINK = "sink"
+
+TABLES = ("meta", "journals", "jobs", "scenario_runs", "counters")
+
+#: Tables holding journal-derived rows (cleared per-journal on resync).
+RECORD_TABLES = ("jobs", "scenario_runs", "counters")
+
+DDL = [
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS journals (
+        journal   TEXT PRIMARY KEY,
+        kind      TEXT NOT NULL,
+        offset    BIGINT NOT NULL,
+        head_len  BIGINT NOT NULL,
+        head_hash TEXT NOT NULL,
+        rows      BIGINT NOT NULL,
+        skipped   BIGINT NOT NULL,
+        synced_at DOUBLE NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS jobs (
+        journal              TEXT NOT NULL,
+        hash                 TEXT NOT NULL,
+        simulator            TEXT NOT NULL,
+        schema_version       INTEGER NOT NULL,
+        problem              TEXT NOT NULL,
+        category             TEXT NOT NULL,
+        config_name          TEXT NOT NULL,
+        hardware_parallelism INTEGER NOT NULL,
+        global_size          INTEGER NOT NULL,
+        local_size           INTEGER NOT NULL,
+        num_workgroups       INTEGER NOT NULL,
+        num_calls            INTEGER NOT NULL,
+        cycles               BIGINT NOT NULL,
+        sim_cycles           BIGINT NOT NULL,
+        overhead_cycles      BIGINT NOT NULL,
+        extrapolated         INTEGER NOT NULL,
+        lane_utilization     DOUBLE NOT NULL,
+        elapsed_seconds      DOUBLE NOT NULL,
+        raw                  TEXT NOT NULL,
+        PRIMARY KEY (journal, hash, simulator, schema_version)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS scenario_runs (
+        journal          TEXT NOT NULL,
+        key              TEXT NOT NULL,
+        simulator        TEXT NOT NULL,
+        schema_version   INTEGER NOT NULL,
+        scenario         TEXT NOT NULL,
+        hash             TEXT NOT NULL,
+        problem          TEXT,
+        category         TEXT,
+        config_name      TEXT,
+        strategy         TEXT,
+        engine           TEXT,
+        seed             INTEGER,
+        scale            TEXT,
+        gws              INTEGER,
+        local_size       INTEGER,
+        cycles           BIGINT NOT NULL,
+        lane_utilization DOUBLE NOT NULL,
+        elapsed_seconds  DOUBLE NOT NULL,
+        meta             TEXT NOT NULL,
+        raw              TEXT NOT NULL,
+        PRIMARY KEY (journal, key, simulator, schema_version)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS counters (
+        journal        TEXT NOT NULL,
+        key            TEXT NOT NULL,
+        simulator      TEXT NOT NULL,
+        schema_version INTEGER NOT NULL,
+        name           TEXT NOT NULL,
+        value          DOUBLE NOT NULL,
+        PRIMARY KEY (journal, key, simulator, schema_version, name)
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_jobs_problem ON jobs (problem, config_name)",
+    "CREATE INDEX IF NOT EXISTS idx_runs_scenario ON scenario_runs (scenario)",
+    "CREATE INDEX IF NOT EXISTS idx_counters_name ON counters (name)",
+]

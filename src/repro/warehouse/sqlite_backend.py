@@ -1,0 +1,66 @@
+"""The always-available stdlib :mod:`sqlite3` warehouse backend."""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Sequence
+
+from repro.warehouse.store import QueryResult, WarehouseError
+
+
+class SqliteStore:
+    """:class:`~repro.warehouse.store.ResultStore` over stdlib sqlite3.
+
+    ``read_only=True`` opens the database through a ``mode=ro`` URI, so raw
+    user SQL physically cannot write -- the read-only guarantee does not
+    depend on parsing the statement.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, path: Path, read_only: bool = False):
+        self.path = Path(path)
+        self.read_only = read_only
+        if read_only:
+            if not self.path.exists():
+                raise WarehouseError(
+                    f"no warehouse at {self.path}; run `repro warehouse sync` first")
+            self._conn = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True)
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(self.path)
+            # The warehouse is derived data: throughput over durability.
+            self._conn.execute("PRAGMA synchronous = OFF")
+            self._conn.execute("PRAGMA journal_mode = MEMORY")
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence = ()) -> None:
+        self._conn.execute(sql, tuple(params))
+
+    def executemany(self, sql: str, rows: Sequence[Sequence]) -> None:
+        self._conn.executemany(sql, [tuple(row) for row in rows])
+
+    def query(self, sql: str, params: Sequence = ()) -> QueryResult:
+        try:
+            cursor = self._conn.execute(sql, tuple(params))
+        except sqlite3.Error as error:
+            raise WarehouseError(f"sqlite query failed: {error}") from error
+        columns = tuple(d[0] for d in cursor.description) if cursor.description else ()
+        return QueryResult(columns=columns, rows=cursor.fetchall())
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self.read_only:
+            self._conn.commit()
+        self.close()

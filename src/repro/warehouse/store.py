@@ -1,0 +1,153 @@
+"""The ``ResultStore`` protocol and the backend selection front door.
+
+The warehouse follows the SWORD dual-backend pattern: one protocol, several
+interchangeable SQL engines behind it, the active one selected by an
+environment variable.  The stdlib :mod:`sqlite3` backend is always available
+and is the default; the DuckDB backend is optional and import-guarded --
+requesting it on a machine without the ``duckdb`` package is an *explicit*
+:class:`BackendUnavailableError`, never a silent fallback to sqlite (a
+silently substituted backend would make "it worked on my machine" debugging
+hell).
+
+Selection order for :func:`open_store`:
+
+1. an explicit ``backend=`` argument,
+2. the ``REPRO_WAREHOUSE_BACKEND`` environment variable (``sqlite`` |
+   ``duckdb``),
+3. ``sqlite``.
+
+The database file defaults to ``<cache dir>/warehouse.<backend>`` (the
+cache directory already honours ``REPRO_CACHE_DIR``/XDG), overridable with
+``REPRO_WAREHOUSE_PATH`` or an explicit ``path=``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Protocol, Sequence, Tuple, Union
+
+from repro.campaign.cache import default_cache_dir
+from repro.warehouse.schema import DDL, WAREHOUSE_SCHEMA_VERSION
+
+#: Environment variable selecting the warehouse backend.
+BACKEND_ENV = "REPRO_WAREHOUSE_BACKEND"
+#: Environment variable overriding the warehouse database path.
+PATH_ENV = "REPRO_WAREHOUSE_PATH"
+#: Known backends, in preference order.
+BACKENDS = ("sqlite", "duckdb")
+DEFAULT_BACKEND = "sqlite"
+
+
+class WarehouseError(RuntimeError):
+    """Any warehouse-level failure (bad backend, bad query, parity breach)."""
+
+
+class BackendUnavailableError(WarehouseError):
+    """A backend was explicitly requested but its driver is not importable."""
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One query's column names and rows, backend-agnostic."""
+
+    columns: Tuple[str, ...]
+    rows: List[tuple]
+
+    def render(self) -> str:
+        """Markdown/ASCII table (same renderer as every other repro table)."""
+        from repro.experiments.report import render_table
+
+        formatted = [["" if cell is None else
+                      (f"{cell:.4g}" if isinstance(cell, float) else str(cell))
+                      for cell in row] for row in self.rows]
+        return render_table(list(self.columns), formatted)
+
+
+class ResultStore(Protocol):
+    """What every warehouse backend provides.
+
+    Implementations are thin: connection management plus qmark-style
+    ``execute``/``executemany``/``query``.  All SQL the warehouse runs is
+    written in the sqlite-and-DuckDB-common dialect, so backends never
+    translate statements.
+    """
+
+    backend: str
+    path: Path
+
+    def execute(self, sql: str, params: Sequence = ()) -> None: ...
+
+    def executemany(self, sql: str, rows: Sequence[Sequence]) -> None: ...
+
+    def query(self, sql: str, params: Sequence = ()) -> QueryResult: ...
+
+    def commit(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """The backend name after argument/environment/default resolution."""
+    name = backend if backend else os.environ.get(BACKEND_ENV, DEFAULT_BACKEND)
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise WarehouseError(
+            f"unknown warehouse backend {name!r}; expected one of "
+            f"{', '.join(BACKENDS)} (via argument or ${BACKEND_ENV})")
+    return name
+
+
+def default_warehouse_path(backend: str) -> Path:
+    """Where the warehouse database lives by default for ``backend``."""
+    override = os.environ.get(PATH_ENV)
+    if override:
+        return Path(override).expanduser()
+    return default_cache_dir() / f"warehouse.{backend}"
+
+
+def open_store(path: Optional[Union[str, Path]] = None,
+               backend: Optional[str] = None,
+               read_only: bool = False) -> ResultStore:
+    """Open (creating if needed) the warehouse under the resolved backend.
+
+    The schema is created on first open; a store written under a different
+    ``WAREHOUSE_SCHEMA_VERSION`` is dropped and recreated empty -- the
+    journals are the source of truth, so a schema bump costs one rebuild,
+    never data.
+    """
+    name = resolve_backend(backend)
+    db_path = Path(path).expanduser() if path is not None else default_warehouse_path(name)
+    if name == "duckdb":
+        from repro.warehouse.duckdb_backend import DuckDBStore
+
+        store: ResultStore = DuckDBStore(db_path, read_only=read_only)
+    else:
+        from repro.warehouse.sqlite_backend import SqliteStore
+
+        store = SqliteStore(db_path, read_only=read_only)
+    if not read_only:
+        _ensure_schema(store)
+    return store
+
+
+def _ensure_schema(store: ResultStore) -> None:
+    """Create the tables; reset the store on a warehouse-schema mismatch."""
+    for statement in DDL:
+        store.execute(statement)
+    current = str(WAREHOUSE_SCHEMA_VERSION)
+    rows = store.query("SELECT value FROM meta WHERE key = 'schema_version'").rows
+    if rows and rows[0][0] == current:
+        return
+    if rows:
+        # Stale layout: drop everything and recreate; callers re-sync.
+        from repro.warehouse.schema import TABLES
+
+        for table in TABLES:
+            store.execute(f"DROP TABLE IF EXISTS {table}")
+        for statement in DDL:
+            store.execute(statement)
+    store.execute("INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                  ("schema_version", current))
+    store.commit()

@@ -379,3 +379,58 @@ class TestSizeOverride:
             make_problem("sgemm", scale="smoke", size=128)
         with pytest.raises(UnknownProblemError, match="positive"):
             make_problem("vecadd", scale="smoke", size=0)
+
+
+# ----------------------------------------------------------------------
+# streaming journal access (warehouse ingest rides on these)
+# ----------------------------------------------------------------------
+class TestStreamingJournal:
+    def test_iter_entries_yields_records_with_resume_offsets(self, tmp_path):
+        from repro.campaign.journal import iter_journal_entries
+
+        cache = ResultCache(tmp_path)
+        for lws in (1, 2, 4):
+            job = spec(local_size=lws)
+            cache.put(job, execute_job(job))
+
+        entries = list(cache.iter_entries())
+        assert len(entries) == 3
+        hashes = [record["hash"] for record, _ in entries]
+        assert len(set(hashes)) == 3
+        # offsets are line-end byte positions: resuming from any of them
+        # yields exactly the remaining records
+        _, first_offset = entries[0]
+        rest = list(iter_journal_entries(cache.journal_path,
+                                         start=first_offset))
+        assert [r["hash"] for r, _ in rest] == hashes[1:]
+        assert entries[-1][1] == cache.journal_path.stat().st_size
+
+    def test_iter_entries_streams_the_same_view_load_builds(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec(local_size=4)
+        cache.put(job, execute_job(job))
+        with cache.journal_path.open("a") as journal:
+            journal.write("{corrupt\n")
+        streamed = {record["hash"]: record for record, _ in
+                    ResultCache(tmp_path).iter_entries()}
+        assert set(streamed) == {job.content_hash()}
+
+    def test_complete_only_hides_an_unterminated_tail(self, tmp_path):
+        from repro.campaign.journal import iter_journal_entries
+
+        cache = ResultCache(tmp_path)
+        job = spec(local_size=4)
+        cache.put(job, execute_job(job))
+        whole = cache.journal_path.stat().st_size
+        with cache.journal_path.open("a") as journal:
+            journal.write('{"hash": "partial"')            # no newline
+
+        guarded = list(iter_journal_entries(cache.journal_path,
+                                            complete_only=True))
+        assert len(guarded) == 1
+        assert guarded[-1][1] == whole                     # stops at the tail
+
+        # legacy mode still parses the tail like the whole-file read did
+        eager = list(iter_journal_entries(cache.journal_path))
+        assert len(eager) == 2
+        assert eager[-1][0] is None                        # corrupt -> None

@@ -200,3 +200,112 @@ def test_campaign_help_documents_cache_override(capsys):
     text = capsys.readouterr().out
     assert "REPRO_CACHE_DIR" in text
     assert ".cache/repro" in text
+
+
+def test_warehouse_cli_cycle(tmp_path, capsys, monkeypatch):
+    """sync -> status -> report -> query -> rebuild, all against one run."""
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path / "sinks"))
+    db = str(tmp_path / "wh.sqlite")
+    cache_dir = str(tmp_path / "cache")
+    journals = ["--cache-dir", cache_dir,
+                "--scenario-dir", str(tmp_path / "sinks")]
+    assert main(["scenario", "run", "scaling", "--scale", "smoke",
+                 "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+
+    assert main(["warehouse", "sync", "--db", db] + journals) == 0
+    synced = capsys.readouterr().out
+    assert "ingested" in synced
+
+    assert main(["warehouse", "status", "--db", db]) == 0
+    status = capsys.readouterr().out
+    assert "sqlite backend" in status
+    assert "(synced)" in status
+
+    assert main(["warehouse", "report", "--db", db]) == 0
+    assert "best-lws" in capsys.readouterr().out     # no name lists canned
+
+    assert main(["warehouse", "report", "scenarios", "--db", db]) == 0
+    assert "scaling" in capsys.readouterr().out
+
+    assert main(["warehouse", "query",
+                 "SELECT COUNT(*) FROM scenario_runs", "--db", db]) == 0
+    assert "6" in capsys.readouterr().out
+
+    assert main(["warehouse", "rebuild", "--db", db] + journals) == 0
+    assert "parity check passed" in capsys.readouterr().out
+
+
+def test_warehouse_query_rejects_writes(tmp_path, capsys, monkeypatch):
+    db = str(tmp_path / "wh.sqlite")
+    cache_dir = str(tmp_path / "cache")
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path / "sinks"))
+    assert main(["campaign", "run", "--kernels", "vecadd", "--sweep", "smoke",
+                 "--scale", "smoke", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["warehouse", "sync", "--db", db, "--cache-dir", cache_dir,
+                 "--scenario-dir", str(tmp_path / "sinks")]) == 0
+    capsys.readouterr()
+    assert main(["warehouse", "query", "DELETE FROM jobs", "--db", db]) == 1
+    assert "SELECT or WITH" in capsys.readouterr().err
+    # the row survived the attempt
+    assert main(["warehouse", "query", "SELECT COUNT(*) FROM jobs",
+                 "--db", db]) == 0
+    assert "| 0 " not in capsys.readouterr().out
+
+
+def test_warehouse_sync_before_any_journal_exists(tmp_path, capsys):
+    assert main(["warehouse", "sync", "--db", str(tmp_path / "wh.sqlite"),
+                 "--cache-dir", str(tmp_path / "none"),
+                 "--scenario-dir", str(tmp_path / "none")]) == 0
+    assert "0 row(s) ingested" in capsys.readouterr().out
+
+
+def test_campaign_status_can_serve_from_the_warehouse(tmp_path, capsys,
+                                                      monkeypatch):
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path / "sinks"))
+    db = str(tmp_path / "wh.sqlite")
+    cache_dir = str(tmp_path / "cache")
+    assert main(["campaign", "run", "--kernels", "vecadd", "--sweep", "smoke",
+                 "--scale", "smoke", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["warehouse", "sync", "--db", db, "--cache-dir", cache_dir,
+                 "--scenario-dir", str(tmp_path / "sinks")]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", "--source", "warehouse",
+                 "--db", db, "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "jobs" in out
+    assert "offset" in out
+
+
+def test_scenario_report_source_warehouse(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path / "sinks"))
+    db = str(tmp_path / "wh.sqlite")
+    cache_dir = str(tmp_path / "cache")
+    assert main(["scenario", "run", "scaling", "--scale", "smoke",
+                 "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+
+    # not synced yet: explicit --source warehouse refuses, auto falls back
+    assert main(["scenario", "report", "scaling", "--scale", "smoke",
+                 "--source", "warehouse", "--db", db]) == 1
+    assert "does not (fully) cover" in capsys.readouterr().err
+    assert main(["scenario", "report", "scaling", "--scale", "smoke",
+                 "--db", db]) == 0
+    journal_report = capsys.readouterr().out
+
+    assert main(["warehouse", "sync", "--db", db, "--cache-dir", cache_dir,
+                 "--scenario-dir", str(tmp_path / "sinks")]) == 0
+    capsys.readouterr()
+    assert main(["scenario", "report", "scaling", "--scale", "smoke",
+                 "--source", "warehouse", "--db", db]) == 0
+    assert capsys.readouterr().out == journal_report
+
+
+def test_warehouse_help_documents_backends(capsys):
+    with pytest.raises(SystemExit):
+        main(["warehouse", "--help"])
+    text = capsys.readouterr().out
+    assert "REPRO_WAREHOUSE_BACKEND" in text
+    assert "duckdb" in text

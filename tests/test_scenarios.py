@@ -347,3 +347,34 @@ class TestScenarioCacheIntegration:
         assert run.stats.executed == 2      # "executed" counts campaign jobs...
         assert second_cache.hits == 2       # ...but every one was cache-served
         assert second_cache.misses == 0
+
+
+class TestSinkStreaming:
+    def test_iter_records_streams_without_materializing(self, tmp_path):
+        scenario = tiny_scenario()
+        sink = ResultSink(tmp_path / "tiny.jsonl")
+        Planner().run(scenario, SMOKE, sink=sink)
+        streamed = list(sink.iter_records())
+        assert [r.key for r in streamed] == list(sink.load())
+        assert all(isinstance(r, SinkRecord) for r in streamed)
+
+    def test_iter_records_skips_corrupt_and_stale_lines(self, tmp_path):
+        scenario = tiny_scenario()
+        sink = ResultSink(tmp_path / "tiny.jsonl")
+        Planner().run(scenario, SMOKE, sink=sink)
+        with sink.path.open("a") as journal:
+            journal.write("{corrupt\n")
+            journal.write(json.dumps({"schema": -1, "key": "stale"}) + "\n")
+        assert len(list(sink.iter_records())) == 2
+        assert sink.skipped == 2
+
+    def test_load_keeps_last_wins_over_the_stream(self, tmp_path):
+        scenario = tiny_scenario()
+        sink = ResultSink(tmp_path / "tiny.jsonl")
+        Planner().run(scenario, SMOKE, sink=sink)
+        # duplicate the first line at the tail: the re-appended record wins
+        first_line = sink.path.read_text().splitlines()[0]
+        with sink.path.open("a") as journal:
+            journal.write(first_line + "\n")
+        loaded = sink.load()
+        assert len(loaded) == 2            # still one record per key

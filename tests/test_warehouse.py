@@ -1,0 +1,437 @@
+"""Tests for the results warehouse (repro.warehouse).
+
+Covers backend selection (sqlite default, duckdb import-guarded), the
+ingest pipeline's incremental sync + rewrite detection, rebuild parity and
+idempotence against hostile journals (half-written tails, superseded
+duplicates, in-place compaction), the canned analytics, the raw-SQL guard,
+and the warehouse-backed scenario report path.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.cache import CACHE_FILE_NAME, ResultCache
+from repro.campaign.journal import iter_journal_entries
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CACHE_SCHEMA_VERSION, simulator_version
+from repro.scenarios import Planner, ResultSink, ScenarioContext
+from repro.warehouse import (
+    BACKEND_ENV,
+    BackendUnavailableError,
+    KIND_CACHE,
+    KIND_SINK,
+    WarehouseError,
+    WarehouseSinkView,
+    journal_synced,
+    open_store,
+    parity_check,
+    rebuild,
+    render_status,
+    resolve_backend,
+    run_canned,
+    run_sql,
+    sink_records,
+    sync,
+    table_counts,
+)
+
+from tests.test_scenarios import tiny_scenario
+
+SMOKE = ScenarioContext(scale="smoke", sweep="smoke")
+
+
+# ----------------------------------------------------------------------
+# Synthetic journal records (no simulation needed)
+# ----------------------------------------------------------------------
+def result_dict(job_hash="h0", problem="vecadd", config="1c2w2t",
+                cycles=100, lws=1, **overrides):
+    data = {
+        "job_hash": job_hash, "problem": problem, "category": "math",
+        "config_name": config, "hardware_parallelism": 4, "global_size": 64,
+        "local_size": lws, "num_workgroups": 64, "num_calls": 1,
+        "cycles": cycles, "sim_cycles": cycles, "overhead_cycles": 0,
+        "extrapolated": False, "lane_utilization": 1.0,
+        "counters": {"cycles": float(cycles), "instructions_executed": 10.0},
+        "elapsed_seconds": 0.01,
+    }
+    data.update(overrides)
+    return data
+
+
+def cache_record(job_hash, **overrides):
+    return {
+        "hash": job_hash,
+        "schema": CACHE_SCHEMA_VERSION,
+        "simulator": simulator_version(),
+        "spec": {"problem": "vecadd"},
+        "result": result_dict(job_hash=job_hash, **overrides),
+    }
+
+
+def sink_line(key, job_hash, scenario="tiny", strategy="ours", **overrides):
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "simulator": simulator_version(),
+        "key": key, "hash": job_hash, "scenario": scenario,
+        "spec": {"problem": "vecadd"},
+        "meta": {"scenario": scenario, "problem": "vecadd", "config": "1c2w2t",
+                 "strategy": strategy, "engine": None, "seed": 0,
+                 "scale": "smoke", "size": None, "gws": 64},
+        "result": result_dict(job_hash=job_hash, **overrides),
+    }
+
+
+def write_journal(path, records):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("".join(json.dumps(r, sort_keys=True) + "\n"
+                            for r in records))
+    return path
+
+
+def dump(store):
+    """Every derived row, ordered -- the warehouse's comparable contents."""
+    return {table: sorted(map(tuple, store.query(f"SELECT * FROM {table}").rows))
+            for table in ("jobs", "scenario_runs", "counters")}
+
+
+@pytest.fixture
+def store(tmp_path):
+    with open_store(tmp_path / "wh.sqlite") as handle:
+        yield handle
+
+
+@pytest.fixture
+def cache_journal(tmp_path):
+    return write_journal(tmp_path / "cache" / CACHE_FILE_NAME, [
+        cache_record("h0", cycles=100, lws=1),
+        cache_record("h1", cycles=80, lws=16, config="2c2w4t"),
+        cache_record("h2", cycles=120, lws=4, problem="sgemm"),
+    ])
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_sqlite_is_the_default_and_creates_the_schema(self, store):
+        assert store.backend == "sqlite"
+        assert table_counts(store) == {"jobs": 0, "scenario_runs": 0,
+                                       "counters": 0}
+
+    def test_backend_env_is_honoured(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "duckdb")
+        assert resolve_backend() == "duckdb"
+        assert resolve_backend("sqlite") == "sqlite"   # argument wins
+
+    def test_unknown_backend_is_an_explicit_error(self):
+        with pytest.raises(WarehouseError, match="unknown warehouse backend"):
+            resolve_backend("postgres")
+
+    def test_missing_duckdb_errors_instead_of_falling_back(self, tmp_path,
+                                                           monkeypatch):
+        import repro.warehouse.duckdb_backend as backend
+
+        monkeypatch.setattr(backend, "duckdb", None)
+        with pytest.raises(BackendUnavailableError, match="duckdb"):
+            open_store(tmp_path / "wh.duckdb", backend="duckdb")
+
+    def test_duckdb_backend_round_trips(self, tmp_path, cache_journal):
+        pytest.importorskip("duckdb")
+        with open_store(tmp_path / "wh.duckdb", backend="duckdb") as handle:
+            report = sync(handle, journals=[(cache_journal, KIND_CACHE)])
+            assert report.ingested == 3
+            assert parity_check(
+                handle, journals=[(cache_journal, KIND_CACHE)]) == []
+            assert run_canned(handle, "best-lws").rows
+
+    def test_schema_version_bump_resets_the_store(self, tmp_path,
+                                                  cache_journal):
+        path = tmp_path / "wh.sqlite"
+        with open_store(path) as handle:
+            sync(handle, journals=[(cache_journal, KIND_CACHE)])
+            handle.execute("UPDATE meta SET value = '0' "
+                           "WHERE key = 'schema_version'")
+        with open_store(path) as handle:
+            assert table_counts(handle)["jobs"] == 0    # dropped, rebuildable
+
+    def test_read_only_store_requires_an_existing_database(self, tmp_path):
+        with pytest.raises(WarehouseError, match="no warehouse"):
+            open_store(tmp_path / "missing.sqlite", read_only=True)
+
+
+# ----------------------------------------------------------------------
+# Incremental sync
+# ----------------------------------------------------------------------
+class TestSync:
+    def test_cold_sync_ingests_every_record_and_counter(self, store,
+                                                        cache_journal):
+        report = sync(store, journals=[(cache_journal, KIND_CACHE)])
+        assert report.ingested == 3
+        counts = table_counts(store)
+        assert counts["jobs"] == 3
+        assert counts["counters"] == 6        # 2 counters per record
+
+    def test_double_sync_is_a_no_op(self, store, cache_journal):
+        journals = [(cache_journal, KIND_CACHE)]
+        sync(store, journals=journals)
+        before = dump(store)
+        report = sync(store, journals=journals)
+        assert report.ingested == 0
+        assert not report.journals[0].resynced
+        assert dump(store) == before
+
+    def test_appends_are_ingested_incrementally(self, store, cache_journal):
+        journals = [(cache_journal, KIND_CACHE)]
+        first = sync(store, journals=journals)
+        with cache_journal.open("a") as journal:
+            journal.write(json.dumps(cache_record("h3", cycles=70)) + "\n")
+        second = sync(store, journals=journals)
+        assert second.ingested == 1           # only the appended record
+        assert not second.journals[0].resynced
+        assert second.journals[0].offset > first.journals[0].offset
+        assert table_counts(store)["jobs"] == 4
+
+    def test_superseded_duplicates_keep_the_last_record(self, store, tmp_path):
+        journal = write_journal(tmp_path / "dup" / CACHE_FILE_NAME, [
+            cache_record("h0", cycles=100),
+            cache_record("h1", cycles=80),
+            cache_record("h0", cycles=90),    # concurrent re-simulation wins
+        ])
+        journals = [(journal, KIND_CACHE)]
+        sync(store, journals=journals)
+        assert table_counts(store)["jobs"] == 2
+        cycles = store.query(
+            "SELECT cycles FROM jobs WHERE hash = 'h0'").rows
+        assert cycles == [(90,)]
+        assert parity_check(store, journals=journals) == []
+
+    def test_half_written_tail_is_invisible_until_terminated(self, store,
+                                                             cache_journal):
+        journals = [(cache_journal, KIND_CACHE)]
+        line = json.dumps(cache_record("h3", cycles=70)) + "\n"
+        with cache_journal.open("a") as journal:
+            journal.write(line[: len(line) // 2])     # killed writer
+        report = sync(store, journals=journals)
+        assert report.ingested == 3                   # the tail is not a row
+        assert report.journals[0].skipped == 0        # ...nor even seen
+        assert parity_check(store, journals=journals) == []
+
+        # The next writer terminates the tail (journal tail-repair); the
+        # now-complete-but-corrupt line is skipped, the rest ingests.
+        with cache_journal.open("a") as journal:
+            journal.write("\n" + json.dumps(cache_record("h4", cycles=60)) + "\n")
+        second = sync(store, journals=journals)
+        assert second.ingested == 1
+        assert second.journals[0].skipped == 1
+        assert table_counts(store)["jobs"] == 4
+        assert parity_check(store, journals=journals) == []
+
+    def test_inplace_rewrite_triggers_a_clean_resync(self, store,
+                                                     cache_journal):
+        journals = [(cache_journal, KIND_CACHE)]
+        sync(store, journals=journals)
+        # Compaction-style rewrite: drop the middle record in place.
+        records = [json.loads(line) for line in
+                   cache_journal.read_text().splitlines()]
+        write_journal(cache_journal, [records[0], records[2]])
+        report = sync(store, journals=journals)
+        assert report.journals[0].resynced
+        assert table_counts(store)["jobs"] == 2
+        assert parity_check(store, journals=journals) == []
+
+    def test_deleted_journal_drops_its_rows(self, store, cache_journal):
+        journals = [(cache_journal, KIND_CACHE)]
+        sync(store, journals=journals)
+        cache_journal.unlink()
+        sync(store, journals=journals)
+        assert table_counts(store) == {"jobs": 0, "scenario_runs": 0,
+                                       "counters": 0}
+
+    def test_stale_version_records_are_kept_per_version(self, store, tmp_path):
+        old = cache_record("h0", cycles=100)
+        old["simulator"] = "0.0.0-ancient"
+        journal = write_journal(tmp_path / "mixed" / CACHE_FILE_NAME,
+                                [old, cache_record("h0", cycles=90)])
+        journals = [(journal, KIND_CACHE)]
+        sync(store, journals=journals)
+        # Both versions survive side by side (history!), keyed by simulator.
+        assert table_counts(store)["jobs"] == 2
+        assert parity_check(store, journals=journals) == []
+        # ...but current-version analytics only see the current row.
+        assert run_canned(store, "best-lws").rows == [("vecadd", "1c2w2t", 1, 90)]
+
+
+# ----------------------------------------------------------------------
+# Rebuild: parity + idempotence
+# ----------------------------------------------------------------------
+class TestRebuildParity:
+    def test_rebuild_equals_incremental_sync(self, store, cache_journal):
+        journals = [(cache_journal, KIND_CACHE)]
+        sync(store, journals=journals)
+        with cache_journal.open("a") as journal:
+            journal.write(json.dumps(cache_record("h3", cycles=70)) + "\n")
+        sync(store, journals=journals)
+        incremental = dump(store)
+        rebuild(store, journals=journals)
+        assert dump(store) == incremental
+
+    def test_rebuild_is_idempotent(self, store, cache_journal, tmp_path):
+        sink_journal = write_journal(tmp_path / "sinks" / "tiny-smoke.jsonl", [
+            sink_line("k0", "h0", cycles=100),
+            sink_line("k1", "h1", strategy="lws=1", cycles=150),
+        ])
+        journals = [(cache_journal, KIND_CACHE), (sink_journal, KIND_SINK)]
+        rebuild(store, journals=journals)
+        first = dump(store)
+        rebuild(store, journals=journals)
+        assert dump(store) == first
+        assert parity_check(store, journals=journals) == []
+
+    def test_rebuild_parity_on_a_tail_damaged_journal(self, store,
+                                                      cache_journal):
+        with cache_journal.open("a") as journal:
+            journal.write('{"hash": "h9", "schema":')     # killed mid-record
+        journals = [(cache_journal, KIND_CACHE)]
+        rebuild(store, journals=journals)
+        assert table_counts(store)["jobs"] == 3
+        assert parity_check(store, journals=journals) == []
+
+    def test_rebuild_parity_on_a_superseded_duplicate_journal(self, store,
+                                                              tmp_path):
+        journal = write_journal(tmp_path / "dup" / CACHE_FILE_NAME, [
+            cache_record("h0", cycles=100),
+            cache_record("h0", cycles=95),
+            cache_record("h0", cycles=90),
+        ])
+        journals = [(journal, KIND_CACHE)]
+        rebuild(store, journals=journals)
+        assert table_counts(store)["jobs"] == 1
+        assert store.query("SELECT cycles FROM jobs").rows == [(90,)]
+        assert parity_check(store, journals=journals) == []
+
+    def test_parity_detects_tampered_rows(self, store, cache_journal):
+        journals = [(cache_journal, KIND_CACHE)]
+        rebuild(store, journals=journals)
+        store.execute("UPDATE jobs SET raw = '{}' WHERE hash = 'h1'")
+        mismatches = parity_check(store, journals=journals)
+        assert any("differs" in m for m in mismatches)
+
+    def test_parity_detects_missing_and_phantom_rows(self, store,
+                                                     cache_journal):
+        journals = [(cache_journal, KIND_CACHE)]
+        rebuild(store, journals=journals)
+        store.execute("DELETE FROM jobs WHERE hash = 'h0'")
+        assert any("missing" in m for m in parity_check(store, journals=journals))
+        rebuild(store, journals=journals)
+        with cache_journal.open("a") as journal:
+            journal.write(json.dumps(cache_record("h5")) + "\n")
+        # journal moved ahead of the warehouse: h5 is missing until a sync
+        assert any("missing" in m for m in parity_check(store, journals=journals))
+        sync(store, journals=journals)
+        assert parity_check(store, journals=journals) == []
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+class TestQueries:
+    def test_best_lws_picks_the_minimum_cycles_row(self, store, tmp_path):
+        journal = write_journal(tmp_path / "c" / CACHE_FILE_NAME, [
+            cache_record("h0", cycles=100, lws=1),
+            cache_record("h1", cycles=80, lws=16),
+            cache_record("h2", cycles=95, lws=32),
+        ])
+        sync(store, journals=[(journal, KIND_CACHE)])
+        assert run_canned(store, "best-lws").rows == [("vecadd", "1c2w2t", 16, 80)]
+
+    def test_speedup_compares_baselines_against_ours(self, store, tmp_path):
+        journal = write_journal(tmp_path / "s" / "tiny.jsonl", [
+            sink_line("k0", "h0", strategy="ours", cycles=100),
+            sink_line("k1", "h1", strategy="lws=1", cycles=150),
+        ])
+        sync(store, journals=[(journal, KIND_SINK)])
+        rows = run_canned(store, "speedup").rows
+        assert len(rows) == 1
+        problem, baseline, points, avg_ratio, worst_ratio = rows[0]
+        assert (problem, baseline, points) == ("vecadd", "lws=1", 1)
+        assert avg_ratio == pytest.approx(1.5)
+        assert worst_ratio == pytest.approx(1.5)
+
+    def test_cache_trends_and_scenarios_summaries(self, store, cache_journal,
+                                                  tmp_path):
+        sink_journal = write_journal(tmp_path / "s" / "tiny.jsonl",
+                                     [sink_line("k0", "h0")])
+        sync(store, journals=[(cache_journal, KIND_CACHE),
+                              (sink_journal, KIND_SINK)])
+        trends = run_canned(store, "cache-trends")
+        assert trends.rows[0][0] == simulator_version()
+        assert trends.rows[0][1] == 3
+        scenarios = run_canned(store, "scenarios")
+        assert scenarios.rows[0][0] == "tiny"
+
+    def test_unknown_canned_query_lists_the_names(self, store):
+        with pytest.raises(WarehouseError, match="best-lws"):
+            run_canned(store, "nope")
+
+    def test_raw_sql_is_select_only(self, store):
+        assert run_sql(store, "SELECT 1 AS one").rows == [(1,)]
+        assert run_sql(store, "  WITH t AS (SELECT 2 AS v) "
+                              "SELECT v FROM t ;").rows == [(2,)]
+        for bad in ("DELETE FROM jobs", "DROP TABLE jobs",
+                    "SELECT 1; DELETE FROM jobs", ""):
+            with pytest.raises(WarehouseError):
+                run_sql(store, bad)
+
+    def test_query_result_renders_as_a_table(self, store, cache_journal):
+        sync(store, journals=[(cache_journal, KIND_CACHE)])
+        text = run_canned(store, "best-lws").render()
+        assert "| problem |" in text
+        assert "vecadd" in text
+
+    def test_render_status_reports_tables_and_offsets(self, store,
+                                                     cache_journal):
+        sync(store, journals=[(cache_journal, KIND_CACHE)])
+        text = render_status(store)
+        assert "jobs            : 3 row(s)" in text
+        assert "(synced)" in text
+        assert "sqlite backend" in text
+
+
+# ----------------------------------------------------------------------
+# End to end against real scenario runs
+# ----------------------------------------------------------------------
+class TestScenarioIntegration:
+    def test_sink_records_round_trip_through_the_warehouse(self, store,
+                                                           tmp_path):
+        scenario = tiny_scenario(strategies=("ours", "lws=1"))
+        sink = ResultSink(tmp_path / "sinks" / "tiny-smoke.jsonl")
+        cache = ResultCache(tmp_path / "cache")
+        Planner(runner=CampaignRunner(cache=cache)).run(
+            scenario, SMOKE, sink=sink)
+
+        journals = [(cache.journal_path, KIND_CACHE), (sink.path, KIND_SINK)]
+        sync(store, journals=journals)
+        assert parity_check(store, journals=journals) == []
+        assert journal_synced(store, sink.path)
+
+        from_journal = sink.load()
+        from_warehouse = sink_records(store, sink.path)
+        assert from_warehouse == from_journal
+
+        view = WarehouseSinkView(store, sink.path)
+        run = Planner().load(scenario, SMOKE, sink=view)
+        journal_run = Planner().load(scenario, SMOKE, sink=sink)
+        assert run.report() == journal_run.report()
+
+    def test_meta_tags_become_queryable_columns(self, store, tmp_path):
+        scenario = tiny_scenario(strategies=("ours", "lws=1"))
+        sink = ResultSink(tmp_path / "sinks" / "tiny-smoke.jsonl")
+        Planner().run(scenario, SMOKE, sink=sink)
+        sync(store, journals=[(sink.path, KIND_SINK)])
+        rows = store.query(
+            "SELECT DISTINCT strategy FROM scenario_runs ORDER BY strategy").rows
+        assert rows == [("lws=1",), ("ours",)]
+        configs = store.query(
+            "SELECT COUNT(DISTINCT config_name) FROM scenario_runs").rows
+        assert configs == [(2,)]
