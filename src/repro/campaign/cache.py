@@ -34,6 +34,7 @@ from repro.campaign.journal import (
 )
 from repro.campaign.result import JobResult
 from repro.campaign.spec import CACHE_SCHEMA_VERSION, JobSpec, simulator_version
+from repro.telemetry.recorder import RECORDER
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -73,6 +74,20 @@ class CacheStats:
     def bytes_per_entry(self) -> float:
         """Average on-disk footprint of one usable entry."""
         return self.size_bytes / self.entries if self.entries else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (``repro campaign status --json``)."""
+        return {
+            "path": self.path,
+            "entries": self.entries,
+            "stale_entries": self.stale_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "size_bytes": self.size_bytes,
+            "journal_lines": self.journal_lines,
+            "compacted_lines": self.compacted_lines,
+        }
 
     def render(self) -> str:
         """Multi-line human readable summary (used by ``repro campaign status``)."""
@@ -218,8 +233,10 @@ class ResultCache:
         result = self._index.get(spec.content_hash())
         if result is None:
             self.misses += 1
+            RECORDER.count("campaign.cache.misses")
             return None
         self.hits += 1
+        RECORDER.count("campaign.cache.hits")
         return result.as_cached()
 
     def put(self, spec: JobSpec, result: JobResult) -> None:

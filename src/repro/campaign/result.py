@@ -9,7 +9,10 @@ never cross the campaign boundary.
 
 Traced jobs additionally carry their in-memory event tuple -- events are
 process-picklable but deliberately not persisted (a single traced launch can
-produce hundreds of thousands of them).
+produce hundreds of thousands of them).  The same treatment applies to the
+``telemetry`` payload a worker's recorder scope produces: it rides the
+result back across the process boundary so the parent can merge it, and is
+stripped before anything touches the cache.
 
 A :class:`JobFailure` captures one job's exception without aborting the
 campaign: the error string and formatted traceback travel back to the parent
@@ -46,6 +49,7 @@ class JobResult:
     elapsed_seconds: float = 0.0
     from_cache: bool = False
     events: Optional[Tuple] = None        # trace events; in-memory only
+    telemetry: Optional[Dict] = None      # worker recorder payload; in-memory only
 
     @property
     def ok(self) -> bool:
@@ -56,8 +60,8 @@ class JobResult:
         return PerfCounters.from_dict(self.counters)
 
     def as_cached(self) -> "JobResult":
-        """A copy marked as served from the cache (and without trace events)."""
-        return replace(self, from_cache=True, events=None)
+        """A copy marked as served from the cache (without events/telemetry)."""
+        return replace(self, from_cache=True, events=None, telemetry=None)
 
     def summary(self) -> str:
         """One-line rendering for progress output."""
@@ -118,6 +122,7 @@ class JobFailure:
     label: str
     error: str
     traceback: str = ""
+    telemetry: Optional[Dict] = None      # worker recorder payload; in-memory only
 
     @property
     def ok(self) -> bool:

@@ -25,13 +25,14 @@ import multiprocessing
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.result import JobFailure, JobResult
 from repro.campaign.spec import Campaign, JobSpec
 from repro.campaign.worker import execute_job
+from repro.telemetry.recorder import RECORDER
 
 #: ``progress(index, total, spec, outcome)``; outcome is a result or failure.
 ProgressCallback = Callable[[int, int, JobSpec, Union[JobResult, JobFailure]], None]
@@ -136,17 +137,41 @@ class CampaignRunner:
         """Execute every spec; see the module docstring for the pipeline."""
         if not isinstance(campaign, Campaign):
             campaign = Campaign(name="adhoc", specs=list(campaign))
+        with RECORDER.span("campaign.run", campaign=campaign.name,
+                           jobs=len(campaign.specs)):
+            outcome = self._execute(campaign, progress)
+        if RECORDER.enabled:
+            RECORDER.count("campaign.runs")
+            RECORDER.count("campaign.jobs.deduplicated",
+                           outcome.stats.deduplicated)
+            RECORDER.gauge("campaign.last_run.jobs", outcome.stats.total)
+            RECORDER.gauge("campaign.last_run.elapsed_seconds",
+                           outcome.stats.elapsed_seconds)
+        return outcome
+
+    def _execute(self, campaign: Campaign,
+                 progress: Optional[ProgressCallback]) -> CampaignOutcome:
         specs = list(campaign.specs)
         total = len(specs)
         started = time.perf_counter()
         results: List[Optional[Outcome]] = [None] * total
 
-        # 1. cache resolution, in submission order.
+        # 1. cache resolution, in submission order.  Cache hits record a
+        # synthetic job.cache_hit span: the lookup IS the job's execution.
         cache_hits = 0
         pending: List[int] = []
         for index, spec in enumerate(specs):
-            cached = (self.cache.get(spec)
-                      if self.cache is not None and not spec.collect_trace else None)
+            if self.cache is not None and not spec.collect_trace:
+                lookup_wall = time.time()
+                lookup_perf = time.perf_counter() if RECORDER.enabled else 0.0
+                cached = self.cache.get(spec)
+                if cached is not None and RECORDER.enabled:
+                    RECORDER.record_span(
+                        "job.cache_hit", lookup_wall,
+                        time.perf_counter() - lookup_perf,
+                        job_hash=spec.content_hash(), problem=spec.problem)
+            else:
+                cached = None
             if cached is not None:
                 results[index] = cached
                 cache_hits += 1
@@ -167,7 +192,20 @@ class CampaignRunner:
         # 3. execute each group's first spec, fan the outcome back out.  Note
         # that traced jobs DO write their summaries back (the journal stores
         # to_dict(), which drops the event log) -- they only skip cache reads.
-        def finish(indices: Sequence[int], outcome: Outcome) -> None:
+        # A worker's telemetry payload is merged into this process's recorder
+        # here and stripped from the outcome, so cached/fanned-out results are
+        # byte-identical to a telemetry-off run.
+        def finish(indices: Sequence[int], outcome: Outcome,
+                   submitted_wall: Optional[float] = None) -> None:
+            payload = getattr(outcome, "telemetry", None)
+            if payload is not None:
+                started_wall = payload.pop("started_wall", None)
+                if RECORDER.enabled:
+                    if submitted_wall is not None and started_wall is not None:
+                        RECORDER.observe("campaign.queue_wait_seconds",
+                                         max(started_wall - submitted_wall, 0.0))
+                    RECORDER.merge(payload)
+                outcome = replace(outcome, telemetry=None)
             if isinstance(outcome, JobResult) and self.cache is not None:
                 self.cache.put(specs[indices[0]], outcome)
             for index in indices:
@@ -177,7 +215,8 @@ class CampaignRunner:
 
         if self.workers <= 1 or len(group_indices) <= 1:
             for indices in group_indices:
-                finish(indices, execute_job(specs[indices[0]]))
+                submitted_wall = time.time()
+                finish(indices, execute_job(specs[indices[0]]), submitted_wall)
         else:
             self._run_pool(specs, group_indices, finish)
 
@@ -199,7 +238,7 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     def _run_pool(self, specs: Sequence[JobSpec],
                   group_indices: Sequence[Sequence[int]],
-                  finish: Callable[[Sequence[int], Outcome], None]) -> None:
+                  finish: Callable[..., None]) -> None:
         """Fan distinct points out across a process pool."""
         context = self._mp_context
         if context is None:
@@ -211,6 +250,7 @@ class CampaignRunner:
         max_workers = min(self.workers, len(group_indices))
         with ProcessPoolExecutor(max_workers=max_workers,
                                  mp_context=context) as pool:
+            submitted = time.time()
             futures = {
                 pool.submit(execute_job, specs[indices[0]]): indices
                 for indices in group_indices
@@ -228,4 +268,4 @@ class CampaignRunner:
                             label=specs[indices[0]].display_name(),
                             error=f"{type(error).__name__}: {error}",
                         )
-                    finish(indices, outcome)
+                    finish(indices, outcome, submitted)

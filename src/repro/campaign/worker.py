@@ -7,16 +7,27 @@ tuple, simulates the launch, and returns either a
 :class:`~repro.campaign.result.JobResult` or a
 :class:`~repro.campaign.result.JobFailure` -- it never raises, so one bad job
 cannot take the pool (or the campaign) down with it.
+
+When telemetry is enabled (``$REPRO_TELEMETRY`` is inherited by worker
+processes), every execution records into a *fresh* recorder scope pushed
+just for that job -- under ``fork`` the child inherits the parent's
+buffers, and the scope push is what keeps them untouched.  The popped
+payload (the ``job.execute`` span tree plus any engine metrics) travels
+back to the parent attached to the result, where
+:class:`~repro.campaign.runner.CampaignRunner` merges it; nothing is
+shared between processes.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
+from dataclasses import replace
 from typing import Union
 
 from repro.campaign.result import JobFailure, JobResult
 from repro.campaign.spec import JobSpec
+from repro.telemetry.recorder import RECORDER
 
 
 def run_spec(spec: JobSpec) -> JobResult:
@@ -63,12 +74,31 @@ def run_spec(spec: JobSpec) -> JobResult:
 
 def execute_job(spec: JobSpec) -> Union[JobResult, JobFailure]:
     """Run one spec, converting any exception into a :class:`JobFailure`."""
+    if not RECORDER.enabled:
+        try:
+            return run_spec(spec)
+        except Exception as error:  # noqa: BLE001 - isolation is the contract
+            return JobFailure(
+                job_hash=spec.content_hash(),
+                label=spec.display_name(),
+                error=f"{type(error).__name__}: {error}",
+                traceback=traceback.format_exc(),
+            )
+    started_wall = time.time()
+    RECORDER.push_scope()
     try:
-        return run_spec(spec)
+        with RECORDER.span("job.execute", job_hash=spec.content_hash(),
+                           problem=spec.problem, config=spec.config.name):
+            outcome: Union[JobResult, JobFailure] = run_spec(spec)
+        RECORDER.count("campaign.jobs.executed")
     except Exception as error:  # noqa: BLE001 - isolation is the contract
-        return JobFailure(
+        RECORDER.count("campaign.jobs.failed")
+        outcome = JobFailure(
             job_hash=spec.content_hash(),
             label=spec.display_name(),
             error=f"{type(error).__name__}: {error}",
             traceback=traceback.format_exc(),
         )
+    payload = RECORDER.pop_scope()
+    payload["started_wall"] = started_wall
+    return replace(outcome, telemetry=payload)

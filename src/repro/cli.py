@@ -18,6 +18,9 @@ Exposes the library's main workflows without writing Python::
     python -m repro warehouse query "SELECT problem, MIN(cycles) FROM jobs GROUP BY problem"
     python -m repro warehouse report best-lws
     python -m repro --engine fast run sgemm --config 4c8w8t
+    python -m repro --telemetry scenario run scaling --scale smoke --progress
+    python -m repro telemetry summary
+    python -m repro telemetry export prometheus -o metrics.prom
 
 ``--engine {reference,fast}`` (or the ``REPRO_ENGINE`` environment variable)
 selects the simulation engine for every launch of the invocation.  The two
@@ -37,18 +40,36 @@ by ``REPRO_CACHE_DIR`` or ``--cache-dir``).  ``figure1``, ``sweep``,
 scenarios, kept for familiarity.
 
 ``warehouse`` is the SQL analytics tier over everything the journals have
-recorded: ``sync`` ingests the cache and sink journals incrementally,
-``rebuild`` re-derives the whole store (and proves parity against the
-journals), ``status``/``query``/``report`` answer cross-campaign questions
-without re-parsing a single JSONL file.  The backend is stdlib sqlite by
-default; ``REPRO_WAREHOUSE_BACKEND=duckdb`` selects DuckDB where installed.
+recorded: ``sync`` ingests the cache, sink *and telemetry* journals
+incrementally, ``rebuild`` re-derives the whole store (and proves parity
+against the journals), ``status``/``query``/``report`` answer
+cross-campaign questions without re-parsing a single JSONL file.  The
+backend is stdlib sqlite by default; ``REPRO_WAREHOUSE_BACKEND=duckdb``
+selects DuckDB where installed.
+
+``--telemetry`` (or ``REPRO_TELEMETRY=1``) records spans and metrics for
+the whole invocation -- planner expansion, per-job execution and queue
+wait, cache and sink I/O, engine phase timers -- and appends them to the
+telemetry journal (``telemetry/telemetry.jsonl``, ``$REPRO_TELEMETRY_DIR``
+aware) on exit.  ``repro telemetry summary`` aggregates the journal;
+``repro telemetry export prometheus|chrome|json`` re-shapes it for scrapers
+and ``chrome://tracing``.  ``--progress`` adds a live done/total + hit rate
++ jobs/sec + ETA line on stderr to ``campaign run`` and ``scenario
+run``/``resume``; it works with telemetry off.
+
+Output discipline: stdout carries only the command's machine-readable or
+report output (tables, JSON, Prometheus text); every diagnostic, stat line
+and error goes through the structured stderr logger
+(:mod:`repro.telemetry.log`, level from ``$REPRO_LOG_LEVEL``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.campaign.cache import CACHE_DIR_ENV, ResultCache
@@ -77,6 +98,22 @@ from repro.scenarios import (
 from repro.scenarios.library import figure2_result_from_run
 from repro.sim.config import ArchConfig
 from repro.sim.engine import DEFAULT_ENGINE, ENGINE_ENV, ENGINES
+from repro.telemetry.export import (
+    render_summary as render_telemetry_summary,
+    summarize,
+    to_chrome_trace,
+    to_json,
+    to_prometheus,
+)
+from repro.telemetry.journal import (
+    TELEMETRY_DIR_ENV,
+    default_journal_path,
+    flush as flush_telemetry,
+    iter_telemetry_records,
+)
+from repro.telemetry.log import configure_from_env as configure_logging, get_logger
+from repro.telemetry.progress import ProgressLine
+from repro.telemetry.recorder import RECORDER, TELEMETRY_ENV
 from repro.warehouse import (
     CANNED,
     WarehouseError,
@@ -88,11 +125,14 @@ from repro.warehouse import (
     render_status,
     run_canned,
     run_sql,
+    status_payload,
     sync as warehouse_sync,
 )
 from repro.trace.render import render_issue_timeline, render_summary
 from repro.trace.tracer import Tracer
 from repro.workloads.problems import available_problems, make_problem
+
+_LOG = get_logger("cli")
 
 
 # ----------------------------------------------------------------------
@@ -144,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default: ${ENGINE_ENV} or '{DEFAULT_ENGINE}').  Both engines "
              "produce bit-identical cycles, counters and output buffers; "
              "'fast' is simply quicker.",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="record spans and metrics for this invocation (equivalent to "
+             f"${TELEMETRY_ENV}=1, which campaign workers inherit); the "
+             "records append to the telemetry journal on exit.  Results are "
+             "bit-identical with telemetry on or off.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     grid = _grid_options()
@@ -199,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also evaluate the Section-3 claims")
     crun.add_argument("-o", "--output", default=None,
                       help="write raw records to a JSON file")
+    crun.add_argument("--progress", action="store_true",
+                      help="live progress line on stderr (done/total, hit "
+                           "rate, jobs/sec, ETA)")
 
     cstatus = campaign_sub.add_parser("status", parents=[_cache_options(no_cache=False)],
                                       help="show the result-cache state")
@@ -210,6 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="warehouse database path (with --source warehouse)")
     cstatus.add_argument("--backend", choices=("sqlite", "duckdb"), default=None,
                          help="warehouse backend (with --source warehouse)")
+    cstatus.add_argument("--json", action="store_true",
+                         help="emit the status as JSON instead of text")
     cclear = campaign_sub.add_parser("clear-cache", parents=[_cache_options(no_cache=False)],
                                      help="delete the persistent result cache")
     del cclear
@@ -242,6 +294,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="JSONL sink path (default: "
                                   "scenario-runs/<name>-<scale>.jsonl, "
                                   "honouring $REPRO_SCENARIO_DIR)")
+        sparser.add_argument("--progress", action="store_true",
+                             help="live progress line on stderr (done/total, "
+                                  "hit rate, jobs/sec, ETA)")
         if verb == "run":
             sparser.add_argument("--fresh", action="store_true",
                                  help="discard the existing sink and start over")
@@ -263,6 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="warehouse database path (for --source warehouse/auto)")
     sreport.add_argument("--backend", choices=("sqlite", "duckdb"), default=None,
                          help="warehouse backend (for --source warehouse/auto)")
+    sreport.add_argument("--json", action="store_true",
+                         help="emit the run (stats + per-point records) as "
+                              "JSON instead of the human report")
 
     warehouse = sub.add_parser(
         "warehouse",
@@ -297,6 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
     wh_journals.add_argument("--scenario-dir", default=None,
                              help="scenario sink directory to ingest (default: "
                                   "$REPRO_SCENARIO_DIR or scenario-runs/)")
+    wh_journals.add_argument("--telemetry-dir", default=None,
+                             help="telemetry journal directory to ingest "
+                                  f"(default: ${TELEMETRY_DIR_ENV} or "
+                                  "telemetry/)")
 
     wsync = warehouse_sub.add_parser(
         "sync", parents=[wh_common, wh_journals],
@@ -323,6 +385,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="canned query name (omit with --list)")
     wreport.add_argument("--list", action="store_true",
                          help="list the canned queries and exit")
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="summarise or export the recorded spans/metrics journal",
+        description="Aggregate and export the telemetry journal that "
+                    "--telemetry (or REPRO_TELEMETRY=1) invocations append "
+                    "to: 'summary' folds it into per-span and per-metric "
+                    "aggregates, 'export' re-shapes it as Prometheus text "
+                    "exposition, chrome://tracing JSON, or the summary JSON.",
+        epilog=f"The journal lives at telemetry/telemetry.jsonl unless "
+               f"${TELEMETRY_DIR_ENV} or --journal says otherwise.",
+    )
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command",
+                                             required=True)
+    tele_common = argparse.ArgumentParser(add_help=False)
+    tele_common.add_argument("--journal", default=None,
+                             help="telemetry journal path (default: "
+                                  "telemetry/telemetry.jsonl, honouring "
+                                  f"${TELEMETRY_DIR_ENV})")
+    tsummary = telemetry_sub.add_parser(
+        "summary", parents=[tele_common],
+        help="aggregate spans, counters, gauges and histograms")
+    tsummary.add_argument("--json", action="store_true",
+                          help="emit the summary as JSON instead of text")
+    texport = telemetry_sub.add_parser(
+        "export", parents=[tele_common],
+        help="export the journal for external tools")
+    texport.add_argument("format", choices=("prometheus", "chrome", "json"),
+                         help="prometheus text exposition, chrome://tracing "
+                              "JSON, or the summary as JSON")
+    texport.add_argument("-o", "--output", default=None,
+                         help="write to a file instead of stdout")
     return parser
 
 
@@ -358,7 +452,8 @@ def _cmd_run(args) -> int:
         print(render_issue_timeline(tracer.events, width=100,
                                     title=f"{problem.name} on {config.name}"))
         print()
-        print(render_summary(tracer.events, result.counters, config.threads_per_warp))
+        print(render_summary(tracer.events, result.counters,
+                             config.threads_per_warp, dropped=tracer.dropped))
     if args.advise:
         print()
         advisor = TuningAdvisor(config)
@@ -388,11 +483,41 @@ def _grid_context(args) -> ScenarioContext:
     )
 
 
+class _ProgressReporter:
+    """Adapts the planner's ``progress(done, total, outcome)`` callback onto
+    a :class:`ProgressLine` (built lazily -- the total is only known once the
+    planner resolved resume state)."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.line: Optional[ProgressLine] = None
+
+    def __call__(self, done: int, total: int, outcome) -> None:
+        if self.line is None:
+            self.line = ProgressLine(total, label=self.label)
+        result = getattr(outcome, "result", outcome)
+        self.line.update(done=done, hit=bool(getattr(result, "from_cache", False)))
+
+    def finish(self) -> None:
+        if self.line is not None:
+            self.line.finish()
+
+
+def _progress_reporter(args, label: str) -> Optional[_ProgressReporter]:
+    return _ProgressReporter(label) if getattr(args, "progress", False) else None
+
+
 def _run_and_render_sweep(args, runner=None, claims: bool = False) -> "Figure2Result":
     """Shared body of ``sweep`` and ``campaign run``: the figure2 scenario,
     executed without a sink, rendered like the paper's data tables."""
     planner = Planner(runner=runner)
-    run = planner.run(REGISTRY.get("figure2"), _grid_context(args))
+    reporter = _progress_reporter(args, "figure2")
+    try:
+        run = planner.run(REGISTRY.get("figure2"), _grid_context(args),
+                          progress=reporter)
+    finally:
+        if reporter is not None:
+            reporter.finish()
     result = figure2_result_from_run(run)
     print(render_figure2_table(result))
     print()
@@ -406,7 +531,7 @@ def _run_and_render_sweep(args, runner=None, claims: bool = False) -> "Figure2Re
 def _save_sweep_output(result: "Figure2Result", output: Optional[str]) -> None:
     if output:
         result.save_json(output)
-        print(f"\nraw records written to {output}")
+        _LOG.info(f"raw records written to {output}")
 
 
 def _cmd_sweep(args) -> int:
@@ -433,13 +558,15 @@ def _cmd_campaign(args) -> int:
             # not a full JSONL re-parse.
             try:
                 with _closing_store(args.db, args.backend) as store:
-                    print(render_status(store))
+                    print(json.dumps(status_payload(store), indent=2)
+                          if args.json else render_status(store))
             except WarehouseError as error:
-                print(f"error: {error}", file=sys.stderr)
+                _LOG.error(f"error: {error}")
                 return 1
             return 0
-        cache = ResultCache(args.cache_dir)
-        print(cache.stats().render())
+        stats = ResultCache(args.cache_dir).stats()
+        print(json.dumps(stats.to_dict(), indent=2) if args.json
+              else stats.render())
         return 0
     if args.campaign_command == "clear-cache":
         cache = ResultCache(args.cache_dir)
@@ -454,9 +581,8 @@ def _cmd_campaign(args) -> int:
     result = _run_and_render_sweep(args, runner=runner, claims=args.claims)
     if cache is not None:
         stats = cache.stats()
-        print()
-        print(f"cache {stats.path}: {stats.hits} hit(s), {stats.misses} miss(es), "
-              f"{stats.entries} entries")
+        _LOG.info(f"cache {stats.path}: {stats.hits} hit(s), "
+                  f"{stats.misses} miss(es), {stats.entries} entries")
     _save_sweep_output(result, args.output)
     return 0
 
@@ -475,6 +601,7 @@ def _cmd_warehouse(args) -> int:
             with _closing_store(args.db, args.backend) as store:
                 report = warehouse_sync(store, cache_dir=args.cache_dir,
                                         scenario_dir=args.scenario_dir,
+                                        telemetry_dir=args.telemetry_dir,
                                         full=args.full)
                 print(report.render())
             return 0
@@ -482,14 +609,16 @@ def _cmd_warehouse(args) -> int:
         if args.warehouse_command == "rebuild":
             with _closing_store(args.db, args.backend) as store:
                 report = warehouse_rebuild(store, cache_dir=args.cache_dir,
-                                           scenario_dir=args.scenario_dir)
+                                           scenario_dir=args.scenario_dir,
+                                           telemetry_dir=args.telemetry_dir)
                 print(report.render())
                 if not args.no_verify:
                     mismatches = parity_check(store, cache_dir=args.cache_dir,
-                                              scenario_dir=args.scenario_dir)
+                                              scenario_dir=args.scenario_dir,
+                                              telemetry_dir=args.telemetry_dir)
                     if mismatches:
                         detail = "\n".join(mismatches)
-                        print(f"parity check FAILED:\n{detail}", file=sys.stderr)
+                        _LOG.error(f"parity check FAILED:\n{detail}")
                         return 1
                     print("parity check passed: warehouse rows bit-equal to "
                           "the journals' last-wins view")
@@ -516,11 +645,11 @@ def _cmd_warehouse(args) -> int:
             result = run_canned(store, args.name)
             print(result.render())
             if not result.rows:
-                print("(no rows -- has `repro warehouse sync` run since the "
-                      "last campaign?)")
+                _LOG.info("(no rows -- has `repro warehouse sync` run since "
+                          "the last campaign?)")
         return 0
     except WarehouseError as error:
-        print(f"error: {error}", file=sys.stderr)
+        _LOG.error(f"error: {error}")
         return 1
 
 
@@ -574,7 +703,7 @@ def _cmd_scenario(args) -> int:
     try:
         scenario = REGISTRY.get(args.name)
     except UnknownScenarioError as error:
-        print(f"error: {error.args[0]}", file=sys.stderr)
+        _LOG.error(f"error: {error.args[0]}")
         return 2
 
     scale = args.scale if args.scale else scenario.default_scale
@@ -589,18 +718,19 @@ def _cmd_scenario(args) -> int:
         try:
             source = _report_source(args, sink)
             run = planner.load(scenario, context, sink=source)
-            print(run.report())
+            print(json.dumps(run.payload(), indent=2) if args.json
+                  else run.report())
             return 0
         except (ScenarioError, WarehouseError) as error:
-            print(f"error: {error}", file=sys.stderr)
+            _LOG.error(f"error: {error}")
             return 1
         finally:
             if isinstance(source, WarehouseSinkView):
                 source.store.close()
 
     if args.scenario_command == "resume" and not sink.exists():
-        print(f"error: no sink at {sink.path} to resume from; "
-              f"start with `repro scenario run {scenario.name}`", file=sys.stderr)
+        _LOG.error(f"error: no sink at {sink.path} to resume from; "
+                   f"start with `repro scenario run {scenario.name}`")
         return 1
 
     # Non-cacheable scenarios (wall-time measurements) never touch the cache;
@@ -610,15 +740,44 @@ def _cmd_scenario(args) -> int:
     runner = CampaignRunner(workers=args.workers, cache=cache)
     planner = Planner(runner=runner)
     fresh = bool(getattr(args, "fresh", False))
+    reporter = _progress_reporter(args, scenario.name)
     try:
-        run = planner.run(scenario, context, sink=sink, fresh=fresh)
+        run = planner.run(scenario, context, sink=sink, fresh=fresh,
+                          progress=reporter)
     except ScenarioError as error:
-        print(f"error: {error}", file=sys.stderr)
+        _LOG.error(f"error: {error}")
         return 1
-    print(f"scenario {scenario.name!r} ({scale}): {run.stats.render()}")
-    print(f"sink: {sink.path}")
-    print()
+    finally:
+        if reporter is not None:
+            reporter.finish()
+    _LOG.info(f"scenario {scenario.name!r} ({scale}): {run.stats.render()}")
+    _LOG.info(f"sink: {sink.path}")
     print(run.report())
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _cmd_telemetry(args) -> int:
+    records = list(iter_telemetry_records(args.journal))
+    summary = summarize(records)
+    if args.telemetry_command == "summary":
+        print(to_json(summary) if args.json
+              else render_telemetry_summary(summary))
+        return 0
+
+    # telemetry export
+    if args.format == "prometheus":
+        text = to_prometheus(summary)
+    elif args.format == "chrome":
+        text = json.dumps(to_chrome_trace(records), indent=2) + "\n"
+    else:
+        text = to_json(summary) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        _LOG.info("telemetry export written", format=args.format,
+                  records=len(records), output=args.output)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -631,6 +790,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "scenario": _cmd_scenario,
     "warehouse": _cmd_warehouse,
+    "telemetry": _cmd_telemetry,
 }
 
 
@@ -638,22 +798,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.engine is None:
-        return _COMMANDS[args.command](args)
-    # The engine is threaded through the environment rather than through
-    # every experiment/campaign signature: Device() resolves it wherever one
-    # is built, including inside campaign worker processes (which inherit the
-    # environment).  Restored afterwards so in-process callers (tests) are
-    # unaffected.
-    previous = os.environ.get(ENGINE_ENV)
-    os.environ[ENGINE_ENV] = args.engine
+    configure_logging()
+    # The engine and the telemetry switch are threaded through the
+    # environment rather than through every experiment/campaign signature:
+    # Device() resolves the engine wherever one is built and worker
+    # processes inherit both variables.  Restored afterwards so in-process
+    # callers (tests) are unaffected.
+    overrides = {}
+    if args.engine is not None:
+        overrides[ENGINE_ENV] = args.engine
+    if args.telemetry:
+        overrides[TELEMETRY_ENV] = "1"
+    previous = {env: os.environ.get(env) for env in overrides}
+    for env, value in overrides.items():
+        os.environ[env] = value
+    enabled = RECORDER.configure_from_env()
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
+        if enabled and args.command != "telemetry":
+            written = flush_telemetry(RECORDER)
+            if written:
+                _LOG.info("telemetry journal updated",
+                          path=str(default_journal_path()), records=written)
+        return code
     finally:
-        if previous is None:
-            os.environ.pop(ENGINE_ENV, None)
-        else:
-            os.environ[ENGINE_ENV] = previous
+        for env, value in previous.items():
+            if value is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = value
+        RECORDER.configure_from_env()
 
 
 if __name__ == "__main__":  # pragma: no cover

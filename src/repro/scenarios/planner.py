@@ -42,6 +42,7 @@ from repro.scenarios.spec import (
     ScenarioContext,
 )
 from repro.sim.engine import ENGINE_ENV, resolve_engine
+from repro.telemetry.recorder import RECORDER
 from repro.workloads.problems import problem_global_size
 
 #: Default shard size: ``None`` submits one shard per engine group.  The sink
@@ -73,6 +74,17 @@ class PlanStats:
                 f"{self.resumed} resumed from sink, {self.executed} executed, "
                 f"{self.failed} failed in {self.elapsed_seconds:.2f}s")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (``repro scenario report --json``)."""
+        return {
+            "planned": self.planned,
+            "unique": self.unique,
+            "resumed": self.resumed,
+            "executed": self.executed,
+            "failed": self.failed,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
 
 @dataclass
 class ScenarioRun:
@@ -92,6 +104,24 @@ class ScenarioRun:
     def results(self) -> List[JobResult]:
         """Every record's :class:`JobResult`, in plan order."""
         return [record.result for record in self.records]
+
+    def payload(self) -> Dict[str, object]:
+        """The machine-readable run (``repro scenario report --json``).
+
+        Same information as the human report's inputs: the stats plus one
+        entry per grid point (key, meta tags, result summary).
+        """
+        return {
+            "scenario": self.scenario.name,
+            "scale": self.context.scale,
+            "sink": self.sink_path,
+            "stats": self.stats.to_dict(),
+            "records": [
+                {"key": record.key, "hash": record.job_hash,
+                 "meta": dict(record.meta), "result": record.result.to_dict()}
+                for record in self.records
+            ],
+        }
 
 
 class Planner:
@@ -121,30 +151,33 @@ class Planner:
             scale=scenario.default_scale)
         problems_cache: Dict[Tuple[str, str, int, Optional[int]], int] = {}
         jobs: List[PlannedJob] = []
-        for axes in scenario.axes(context):
-            scale = axes.scale if axes.scale is not None else context.scale
-            seeds = axes.seeds if axes.seeds is not None else (context.seed,)
-            for seed in seeds:
-                for problem_name in axes.problems:
-                    for size in axes.sizes:
-                        key = (problem_name, scale, seed, size)
-                        if key not in problems_cache:
-                            # Size-only: planning must not allocate the
-                            # workloads' input data.
-                            problems_cache[key] = problem_global_size(
-                                problem_name, scale=scale, seed=seed, size=size)
-                        gws = problems_cache[key]
-                        for config in axes.configs:
-                            for strategy_name in axes.strategies:
-                                if strategy_name == RUNTIME_STRATEGY:
-                                    lws = None
-                                else:
-                                    lws = strategy_by_name(
-                                        strategy_name).select_local_size(gws, config)
-                                for engine in axes.engines:
-                                    jobs.append(self._planned_job(
-                                        scenario, problem_name, scale, seed, size,
-                                        gws, config, strategy_name, lws, engine, axes))
+        with RECORDER.span("scenario.plan", scenario=scenario.name,
+                           scale=context.scale):
+            for axes in scenario.axes(context):
+                scale = axes.scale if axes.scale is not None else context.scale
+                seeds = axes.seeds if axes.seeds is not None else (context.seed,)
+                for seed in seeds:
+                    for problem_name in axes.problems:
+                        for size in axes.sizes:
+                            key = (problem_name, scale, seed, size)
+                            if key not in problems_cache:
+                                # Size-only: planning must not allocate the
+                                # workloads' input data.
+                                problems_cache[key] = problem_global_size(
+                                    problem_name, scale=scale, seed=seed, size=size)
+                            gws = problems_cache[key]
+                            for config in axes.configs:
+                                for strategy_name in axes.strategies:
+                                    if strategy_name == RUNTIME_STRATEGY:
+                                        lws = None
+                                    else:
+                                        lws = strategy_by_name(
+                                            strategy_name).select_local_size(gws, config)
+                                    for engine in axes.engines:
+                                        jobs.append(self._planned_job(
+                                            scenario, problem_name, scale, seed, size,
+                                            gws, config, strategy_name, lws, engine, axes))
+        RECORDER.count("scenario.grid_points", len(jobs))
         return jobs
 
     @staticmethod
@@ -210,12 +243,14 @@ class Planner:
         if plan is None:
             plan = self.plan(scenario, context)
         unique = self.unique_jobs(plan)
+        RECORDER.count("scenario.jobs.deduplicated", len(plan) - len(unique))
 
         if sink is not None and fresh:
             sink.reset()
         done: Dict[str, SinkRecord] = sink.load() if sink is not None else {}
         pending = [job for job in unique if job.key() not in done]
         resumed = len(unique) - len(pending)
+        RECORDER.count("scenario.jobs.resumed", resumed)
 
         runner = self.runner if scenario.cacheable else self.runner.without_cache()
 
@@ -223,35 +258,37 @@ class Planner:
         completed = [0]
         total_pending = len(pending)
 
-        for engine, shard in self._shards(pending):
-            by_hash = {job.spec.content_hash(): job for job in shard}
-            campaign = Campaign(name=scenario.name,
-                                specs=[job.spec for job in shard])
+        with RECORDER.span("scenario.run", scenario=scenario.name,
+                           scale=context.scale, jobs=total_pending):
+            for engine, shard in self._shards(pending):
+                by_hash = {job.spec.content_hash(): job for job in shard}
+                campaign = Campaign(name=scenario.name,
+                                    specs=[job.spec for job in shard])
 
-            def on_job(index, total, spec, outcome, _by_hash=by_hash):
-                completed[0] += 1
-                job = _by_hash[spec.content_hash()]
-                if isinstance(outcome, JobResult):
-                    record = SinkRecord(
-                        key=job.key(),
-                        job_hash=spec.content_hash(),
-                        scenario=scenario.name,
-                        result=outcome,
-                        spec=spec.to_dict(),
-                        meta=job.meta,
-                    )
-                    done[job.key()] = record
-                    if sink is not None:
-                        sink.append(record)
-                    if progress is not None:
-                        progress(completed[0], total_pending, record)
-                else:
-                    failures.append(outcome)
-                    if progress is not None:
-                        progress(completed[0], total_pending, outcome)
+                def on_job(index, total, spec, outcome, _by_hash=by_hash):
+                    completed[0] += 1
+                    job = _by_hash[spec.content_hash()]
+                    if isinstance(outcome, JobResult):
+                        record = SinkRecord(
+                            key=job.key(),
+                            job_hash=spec.content_hash(),
+                            scenario=scenario.name,
+                            result=outcome,
+                            spec=spec.to_dict(),
+                            meta=job.meta,
+                        )
+                        done[job.key()] = record
+                        if sink is not None:
+                            sink.append(record)
+                        if progress is not None:
+                            progress(completed[0], total_pending, record)
+                    else:
+                        failures.append(outcome)
+                        if progress is not None:
+                            progress(completed[0], total_pending, outcome)
 
-            with _pinned_engine(engine):
-                runner.run(campaign, progress=on_job)
+                with _pinned_engine(engine):
+                    runner.run(campaign, progress=on_job)
 
         executed = total_pending - len(failures)
         stats = PlanStats(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, Mapping, Optional, Union
@@ -30,6 +31,7 @@ from repro.campaign.journal import (
 )
 from repro.campaign.result import JobResult
 from repro.campaign.spec import CACHE_SCHEMA_VERSION, simulator_version
+from repro.telemetry.recorder import RECORDER
 
 #: Environment variable overriding the directory scenario sinks live in.
 SINK_DIR_ENV = "REPRO_SCENARIO_DIR"
@@ -153,12 +155,19 @@ class ResultSink:
 
     def append(self, record: SinkRecord) -> None:
         """Persist one record immediately (flushed, so kills lose at most one)."""
+        started = time.perf_counter() if RECORDER.enabled else 0.0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._ensure_trailing_newline()
         with self.path.open("a") as journal:
             journal.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
             journal.flush()
+            fsync_started = time.perf_counter() if RECORDER.enabled else 0.0
             os.fsync(journal.fileno())
+            if RECORDER.enabled:
+                now = time.perf_counter()
+                RECORDER.observe("sink.fsync_seconds", now - fsync_started)
+                RECORDER.observe("sink.append_seconds", now - started)
+                RECORDER.count("sink.appends")
         self.appended += 1
 
     def reset(self) -> None:

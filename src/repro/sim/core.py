@@ -20,6 +20,7 @@ hierarchy to obtain their latency.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Dict, List, Optional
 
 from repro.isa.instruction import Instruction
@@ -33,6 +34,7 @@ from repro.sim.memory.mainmem import MainMemory
 from repro.sim.scheduler import make_scheduler
 from repro.sim.stats import PerfCounters
 from repro.sim.warp import Warp, popcount
+from repro.telemetry.recorder import RECORDER
 
 #: Sentinel returned by :meth:`SimtCore.next_event_hint` when the core is drained.
 NEVER = float("inf")
@@ -328,10 +330,18 @@ class SimtCore:
         lines = coalesce(addresses, self.hierarchy.line_words)
         self._last_line_count = len(lines)
         latency = 1
+        # The walk timer is an accumulate-only counter (not a histogram) kept
+        # behind one enabled check: cheap enough for the per-instruction path,
+        # and a pure wall-clock observer of the unchanged cycle arithmetic.
+        walk_started = time.perf_counter() if RECORDER.enabled else 0.0
         for index, (line, _) in enumerate(lines):
             result = self.hierarchy.load_line(self.core_id, line, cycle + index)
             latency = max(latency, index + result.latency)
             self._count_memory_level(result.level, result.queue_cycles)
+        if RECORDER.enabled:
+            RECORDER.count("engine.memory.walk_seconds",
+                           time.perf_counter() - walk_started)
+            RECORDER.count("engine.memory.walks")
         self.counters.loads += 1
         self.counters.load_lines += len(lines)
         warp.pc += 1
@@ -348,8 +358,13 @@ class SimtCore:
             self.memory.write(address, warp.regs[lane][value_reg])
         lines = coalesce(addresses, self.hierarchy.line_words)
         self._last_line_count = len(lines)
+        walk_started = time.perf_counter() if RECORDER.enabled else 0.0
         for index, (line, _) in enumerate(lines):
             self.hierarchy.store_line(self.core_id, line, cycle + index)
+        if RECORDER.enabled:
+            RECORDER.count("engine.memory.walk_seconds",
+                           time.perf_counter() - walk_started)
+            RECORDER.count("engine.memory.walks")
         self.counters.stores += 1
         self.counters.store_lines += len(lines)
         warp.pc += 1

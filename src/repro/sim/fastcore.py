@@ -47,6 +47,7 @@ Equivalence with the reference engine is enforced by
 from __future__ import annotations
 
 import math
+from time import perf_counter as _perf_counter
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -62,6 +63,7 @@ from repro.sim.memory.hierarchy import MemoryHierarchy
 from repro.sim.memory.mainmem import MainMemory
 from repro.sim.scheduler import RoundRobinScheduler
 from repro.sim.stats import PerfCounters
+from repro.telemetry.recorder import RECORDER
 
 _UNIT_INDEX = {unit: index for index, unit in enumerate(FunctionalUnit)}
 
@@ -577,7 +579,14 @@ def _c_load(instr: Instruction, config: ArchConfig) -> Callable:
         # No per-access _count_memory_level here: the cache/DRAM counters are
         # overwritten from the hierarchy's own statistics when the call ends
         # (Gpu._fold_memory_statistics), so per-access increments are unused.
-        latency = core.hierarchy.load_lines_fast(core.core_id, lines, cycle)
+        if RECORDER.enabled:
+            walk_started = _perf_counter()
+            latency = core.hierarchy.load_lines_fast(core.core_id, lines, cycle)
+            RECORDER.count("engine.memory.walk_seconds",
+                           _perf_counter() - walk_started)
+            RECORDER.count("engine.memory.walks")
+        else:
+            latency = core.hierarchy.load_lines_fast(core.core_id, lines, cycle)
         counters = core.counters
         counters.loads += 1
         counters.load_lines += num_lines
@@ -611,7 +620,14 @@ def _c_store(instr: Instruction, config: ArchConfig) -> Callable:
             memory.scatter_unchecked(addresses, values)
         else:
             memory.scatter(addresses, values)  # exact per-batch check, may raise
-        core.hierarchy.store_lines_fast(core.core_id, lines, cycle)
+        if RECORDER.enabled:
+            walk_started = _perf_counter()
+            core.hierarchy.store_lines_fast(core.core_id, lines, cycle)
+            RECORDER.count("engine.memory.walk_seconds",
+                           _perf_counter() - walk_started)
+            RECORDER.count("engine.memory.walks")
+        else:
+            core.hierarchy.store_lines_fast(core.core_id, lines, cycle)
         counters = core.counters
         counters.stores += 1
         counters.store_lines += num_lines

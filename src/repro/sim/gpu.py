@@ -22,6 +22,7 @@ suite holds them to that.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -33,6 +34,7 @@ from repro.sim.engine import resolve_engine
 from repro.sim.memory.hierarchy import MemoryHierarchy
 from repro.sim.memory.mainmem import MainMemory
 from repro.sim.stats import PerfCounters
+from repro.telemetry.recorder import RECORDER
 
 #: Default device memory size (words).  Large enough for every paper workload
 #: at full scale; the runtime's allocator raises a clear error if exceeded.
@@ -91,17 +93,40 @@ class Gpu:
         # Each call starts its own DRAM queue (time restarts at zero per call);
         # cache contents persist across the calls of one launch on purpose.
         self.hierarchy.dram.reset()
-        cores = self._build_cores(program, launches, counters)
-        active_cores: List[SimtCore] = list(cores.values())
+        # Phase timers are pure observers -- wall-clock reads behind a single
+        # enabled check, never touching the cycle arithmetic, so both engines
+        # stay bit-identical with telemetry on or off.
+        if not RECORDER.enabled:
+            cores = self._build_cores(program, launches, counters)
+            active_cores: List[SimtCore] = list(cores.values())
+            if self.engine == "fast":
+                cycle = self._run_fast(active_cores, counters, max_cycles)
+            else:
+                cycle = self._run_reference(active_cores, counters, max_cycles)
+            counters.cycles = cycle
+            counters.warps_launched = len(launches)
+            self._fold_memory_statistics(counters)
+            return CallResult(cycles=cycle, counters=counters)
 
+        t0 = time.perf_counter()
+        cores = self._build_cores(program, launches, counters)
+        active_cores = list(cores.values())
+        t1 = time.perf_counter()
         if self.engine == "fast":
             cycle = self._run_fast(active_cores, counters, max_cycles)
         else:
             cycle = self._run_reference(active_cores, counters, max_cycles)
-
+        t2 = time.perf_counter()
         counters.cycles = cycle
         counters.warps_launched = len(launches)
         self._fold_memory_statistics(counters)
+        t3 = time.perf_counter()
+        prefix = f"engine.{self.engine}"
+        RECORDER.observe(f"{prefix}.build_cores_seconds", t1 - t0)
+        RECORDER.observe(f"{prefix}.issue_loop_seconds", t2 - t1)
+        RECORDER.observe(f"{prefix}.fold_stats_seconds", t3 - t2)
+        RECORDER.count(f"{prefix}.calls")
+        RECORDER.count(f"{prefix}.cycles", cycle)
         return CallResult(cycles=cycle, counters=counters)
 
     def _run_reference(self, active_cores: List[SimtCore], counters: PerfCounters,

@@ -1,0 +1,102 @@
+"""Structured stderr logging for the CLI and library internals.
+
+Replaces the ad-hoc ``print(..., file=sys.stderr)`` calls that used to dot
+``repro.cli``: every diagnostic, progress note and error goes through one
+stdlib-``logging`` logger writing to **stderr**, leaving stdout reserved for
+machine-readable command output (tables, JSON, Prometheus text) that can be
+piped without log noise.
+
+The level comes from ``$REPRO_LOG_LEVEL`` (default ``INFO``); structured
+context rides as ``key=value`` pairs appended to the message::
+
+    log.info("scenario run complete", scenario="scaling", jobs=6)
+    # stderr: repro: scenario run complete scenario=scaling jobs=6
+
+which keeps lines greppable in CI logs without pulling in a JSON-logging
+dependency.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: Environment variable selecting the log level (DEBUG/INFO/WARNING/ERROR).
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _level_from_env() -> int:
+    name = os.environ.get(LOG_LEVEL_ENV, "INFO").strip().upper()
+    return getattr(logging, name, logging.INFO)
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stderr`` at *emit* time.
+
+    A plain ``StreamHandler(sys.stderr)`` captures the stream object once,
+    which silently detaches the log from redirected stderr (pytest's capsys,
+    ``contextlib.redirect_stderr``).  Looking the stream up per record keeps
+    the log wherever stderr currently points.
+    """
+
+    def __init__(self, level: int = logging.NOTSET):
+        logging.Handler.__init__(self, level)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+
+def _configure() -> None:
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if not _configured:
+        handler = _StderrHandler()
+        handler.setFormatter(logging.Formatter("repro: %(message)s"))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(_level_from_env())
+
+
+def configure_from_env() -> None:
+    """(Re-)apply ``$REPRO_LOG_LEVEL`` -- the CLI calls this on every run."""
+    _configure()
+
+
+class _Logger:
+    """Thin wrapper adding ``key=value`` structured suffixes."""
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    @staticmethod
+    def _format(message: str, fields: dict) -> str:
+        if not fields:
+            return message
+        suffix = " ".join(f"{key}={value}" for key, value in fields.items())
+        return f"{message} {suffix}"
+
+    def debug(self, message: str, **fields) -> None:
+        self._logger.debug(self._format(message, fields))
+
+    def info(self, message: str, **fields) -> None:
+        self._logger.info(self._format(message, fields))
+
+    def warning(self, message: str, **fields) -> None:
+        self._logger.warning(self._format(message, fields))
+
+    def error(self, message: str, **fields) -> None:
+        self._logger.error(self._format(message, fields))
+
+
+def get_logger(name: Optional[str] = None) -> _Logger:
+    """A structured logger below the ``repro`` root (stderr, env-levelled)."""
+    _configure()
+    full = _ROOT_NAME if not name else f"{_ROOT_NAME}.{name}"
+    return _Logger(logging.getLogger(full))

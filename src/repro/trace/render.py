@@ -101,8 +101,14 @@ def render_section_waveform(events: Sequence[TraceEvent], width: int = 100) -> s
 
 
 def render_summary(events: Sequence[TraceEvent], counters=None,
-                   threads_per_warp: Optional[int] = None) -> str:
-    """Short textual summary (issue utilisation, SIMT efficiency, boundedness)."""
+                   threads_per_warp: Optional[int] = None,
+                   dropped: int = 0) -> str:
+    """Short textual summary (issue utilisation, SIMT efficiency, boundedness).
+
+    ``dropped`` is the tracer's post-cap drop count; a non-zero value makes
+    the summary say so explicitly, so a truncated trace can never read as a
+    complete one.
+    """
     analysis: TraceAnalysis = analyze_trace(events, counters, threads_per_warp)
     if analysis.total_events == 0:
         return "(empty trace)"
@@ -116,4 +122,7 @@ def render_summary(events: Sequence[TraceEvent], counters=None,
         f"boundedness       : {analysis.boundedness}",
         f"kernel calls      : {len(analysis.call_boundaries)}",
     ]
+    if dropped:
+        lines.append(f"TRUNCATED         : {dropped} event(s) dropped at the "
+                     f"cap -- timeline and summary cover a partial trace")
     return "\n".join(lines)

@@ -16,6 +16,15 @@ from repro.isa.opcodes import Opcode
 from repro.trace.events import TraceEvent
 
 
+def _warn_truncated(max_events: int) -> None:
+    # Local import: the tracer sits below the telemetry layer and must stay
+    # importable without it (docs builds, minimal embeddings).
+    from repro.telemetry.log import get_logger
+    get_logger("trace").warning(
+        "trace truncated: event cap reached, further events are dropped "
+        "(the counters keep counting)", max_events=max_events)
+
+
 class Tracer:
     """Collects instruction-issue events during simulation."""
 
@@ -42,6 +51,10 @@ class Tracer:
         if self._section_filter is not None and section not in self._section_filter:
             return
         if self.max_events is not None and len(self._events) >= self.max_events:
+            if self.dropped == 0:
+                # One warning per truncation episode, not one per event: a
+                # capped trace can drop millions.
+                _warn_truncated(self.max_events)
             self.dropped += 1
             return
         self._events.append(TraceEvent(

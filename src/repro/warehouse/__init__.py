@@ -14,7 +14,8 @@ tables to make analytics tractable).
   optional DuckDB backend behind ``REPRO_WAREHOUSE_BACKEND=duckdb``
   (import-guarded; explicitly errors when requested but missing).
 * :mod:`~repro.warehouse.schema` -- the normalized tables: ``jobs``,
-  ``scenario_runs``, ``counters``, plus per-journal sync state.
+  ``scenario_runs``, ``counters``, the telemetry projection (``spans`` +
+  ``metrics``), plus per-journal sync state.
 * :mod:`~repro.warehouse.ingest` -- streaming journal ingest: incremental
   :func:`sync` via per-journal byte offsets (rewrites detected by prefix
   hash), idempotent full :func:`rebuild`, and :func:`parity_check` proving
@@ -53,11 +54,13 @@ from repro.warehouse.queries import (
     run_canned,
     run_sql,
     sink_records,
+    status_payload,
     table_counts,
 )
 from repro.warehouse.schema import (
     KIND_CACHE,
     KIND_SINK,
+    KIND_TELEMETRY,
     WAREHOUSE_SCHEMA_VERSION,
 )
 from repro.warehouse.store import (
@@ -84,6 +87,7 @@ __all__ = [
     "JournalSyncResult",
     "KIND_CACHE",
     "KIND_SINK",
+    "KIND_TELEMETRY",
     "PATH_ENV",
     "QueryResult",
     "ResultStore",
@@ -103,6 +107,7 @@ __all__ = [
     "run_canned",
     "run_sql",
     "sink_records",
+    "status_payload",
     "sync",
     "table_counts",
 ]

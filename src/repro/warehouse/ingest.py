@@ -37,13 +37,22 @@ from repro.campaign.cache import CACHE_FILE_NAME, default_cache_dir
 from repro.campaign.journal import iter_journal_entries
 from repro.campaign.result import JobResult
 from repro.scenarios.sink import default_sink_dir
-from repro.warehouse.schema import KIND_CACHE, KIND_SINK, RECORD_TABLES
+from repro.telemetry.journal import (
+    default_telemetry_dir,
+    is_current_telemetry_record,
+)
+from repro.warehouse.schema import (
+    KIND_CACHE,
+    KIND_SINK,
+    KIND_TELEMETRY,
+    RECORD_TABLES,
+)
 from repro.warehouse.store import ResultStore
 
 #: Rows buffered per executemany flush during ingest.
 BATCH_SIZE = 1000
 
-JournalSpec = Tuple[Path, str]          # (path, KIND_CACHE | KIND_SINK)
+JournalSpec = Tuple[Path, str]   # (path, KIND_CACHE | KIND_SINK | KIND_TELEMETRY)
 
 
 def journal_id(path: Union[str, Path]) -> str:
@@ -53,20 +62,27 @@ def journal_id(path: Union[str, Path]) -> str:
 
 def discover_journals(cache_dir: Optional[Union[str, Path]] = None,
                       scenario_dir: Optional[Union[str, Path]] = None,
+                      telemetry_dir: Optional[Union[str, Path]] = None,
                       ) -> List[JournalSpec]:
-    """Every journal the warehouse should track: the cache + all sinks.
+    """Every journal the warehouse should track: cache, sinks, telemetry.
 
-    ``cache_dir``/``scenario_dir`` default to the same resolution the cache
-    and sink use themselves (``REPRO_CACHE_DIR``, ``REPRO_SCENARIO_DIR``),
+    ``cache_dir``/``scenario_dir``/``telemetry_dir`` default to the same
+    resolution the cache, sink and telemetry journal use themselves
+    (``REPRO_CACHE_DIR``, ``REPRO_SCENARIO_DIR``, ``REPRO_TELEMETRY_DIR``),
     so `repro warehouse sync` with no flags tracks exactly what `repro
     campaign`/`repro scenario` wrote.
     """
     cache_base = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
     sink_base = Path(scenario_dir).expanduser() if scenario_dir else default_sink_dir()
+    telemetry_base = (Path(telemetry_dir).expanduser() if telemetry_dir
+                      else default_telemetry_dir())
     journals: List[JournalSpec] = [(cache_base / CACHE_FILE_NAME, KIND_CACHE)]
     if sink_base.is_dir():
         journals.extend((path, KIND_SINK)
                         for path in sorted(sink_base.glob("*.jsonl")))
+    if telemetry_base.is_dir():
+        journals.extend((path, KIND_TELEMETRY)
+                        for path in sorted(telemetry_base.glob("*.jsonl")))
     return journals
 
 
@@ -204,6 +220,43 @@ _RUNS_SQL = ("INSERT OR REPLACE INTO scenario_runs VALUES ("
 _COUNTER_DEL_SQL = ("DELETE FROM counters WHERE journal = ? AND key = ? "
                     "AND simulator = ? AND schema_version = ?")
 _COUNTER_SQL = "INSERT OR REPLACE INTO counters VALUES (?,?,?,?,?,?)"
+_SPANS_SQL = ("INSERT OR REPLACE INTO spans VALUES ("
+              + ",".join("?" * 11) + ")")
+_METRICS_SQL = ("INSERT OR REPLACE INTO metrics VALUES ("
+                + ",".join("?" * 11) + ")")
+
+
+def _telemetry_row(jid: str, record: Dict, end: int) -> Optional[Tuple[str, tuple]]:
+    """One telemetry record -> ``(insert_sql, row)`` or None.
+
+    Telemetry rows are keyed by ``(journal, end_offset)``: the journal is
+    append-only and never compacted, so a line's end offset is a stable
+    identity that makes incremental sync a pure append.
+    """
+    if not is_current_telemetry_record(record):
+        return None
+    run = str(record.get("run", ""))
+    pid = _int_or_none(record.get("pid")) or 0
+    try:
+        if record["kind"] == "span":
+            return _SPANS_SQL, (
+                jid, end, run, pid, int(record["id"]),
+                _int_or_none(record.get("parent")), str(record["name"]),
+                float(record["start"]), float(record["duration"]),
+                _canonical(record.get("tags") or {}), _canonical(record))
+        metric_type = str(record["type"])
+        if metric_type == "histogram":
+            return _METRICS_SQL, (
+                jid, end, run, pid, metric_type, str(record["name"]),
+                None, float(record["sum"]), int(record["count"]),
+                _canonical(list(record["buckets"])), _canonical(record))
+        if metric_type not in ("counter", "gauge"):
+            return None
+        return _METRICS_SQL, (
+            jid, end, run, pid, metric_type, str(record["name"]),
+            float(record["value"]), None, None, None, _canonical(record))
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def _delete_journal_rows(store: ResultStore, jid: str) -> None:
@@ -240,36 +293,65 @@ def _sync_journal(store: ResultStore, path: Path, kind: str,
         offset = rows_total = skipped_total = 0
 
     ingested = skipped = 0
-    row_builder = _job_row if kind == KIND_CACHE else _run_row
-    insert_sql = _JOBS_SQL if kind == KIND_CACHE else _RUNS_SQL
-    rows: List[tuple] = []
-    counter_slots: List[tuple] = []
-    counter_rows: List[tuple] = []
+    if kind == KIND_TELEMETRY:
+        # Telemetry rows target two tables (spans + metrics) and carry no
+        # counters; they batch per destination statement.
+        span_rows: List[tuple] = []
+        metric_rows: List[tuple] = []
 
-    def flush() -> None:
-        if not rows:
-            return
-        store.executemany(insert_sql, rows)
-        store.executemany(_COUNTER_DEL_SQL, counter_slots)
-        store.executemany(_COUNTER_SQL, counter_rows)
-        rows.clear()
-        counter_slots.clear()
-        counter_rows.clear()
+        def flush() -> None:
+            if span_rows:
+                store.executemany(_SPANS_SQL, span_rows)
+                span_rows.clear()
+            if metric_rows:
+                store.executemany(_METRICS_SQL, metric_rows)
+                metric_rows.clear()
 
-    for record, end in iter_journal_entries(path, offset, complete_only=True):
-        built = None if record is None else row_builder(jid, record)
-        if built is None:
-            skipped += 1
-        else:
-            slot, row, counters = built
-            rows.append(row)
-            counter_slots.append(slot)
-            counter_rows.extend(counters)
-            ingested += 1
-            if len(rows) >= BATCH_SIZE:
-                flush()
-        offset = end
-    flush()
+        for record, end in iter_journal_entries(path, offset,
+                                                complete_only=True):
+            built = None if record is None else _telemetry_row(jid, record, end)
+            if built is None:
+                skipped += 1
+            else:
+                sql, row = built
+                (span_rows if sql is _SPANS_SQL else metric_rows).append(row)
+                ingested += 1
+                if len(span_rows) + len(metric_rows) >= BATCH_SIZE:
+                    flush()
+            offset = end
+        flush()
+    else:
+        row_builder = _job_row if kind == KIND_CACHE else _run_row
+        insert_sql = _JOBS_SQL if kind == KIND_CACHE else _RUNS_SQL
+        rows: List[tuple] = []
+        counter_slots: List[tuple] = []
+        counter_rows: List[tuple] = []
+
+        def flush() -> None:
+            if not rows:
+                return
+            store.executemany(insert_sql, rows)
+            store.executemany(_COUNTER_DEL_SQL, counter_slots)
+            store.executemany(_COUNTER_SQL, counter_rows)
+            rows.clear()
+            counter_slots.clear()
+            counter_rows.clear()
+
+        for record, end in iter_journal_entries(path, offset,
+                                                complete_only=True):
+            built = None if record is None else row_builder(jid, record)
+            if built is None:
+                skipped += 1
+            else:
+                slot, row, counters = built
+                rows.append(row)
+                counter_slots.append(slot)
+                counter_rows.extend(counters)
+                ingested += 1
+                if len(rows) >= BATCH_SIZE:
+                    flush()
+            offset = end
+        flush()
 
     store.execute(
         "INSERT OR REPLACE INTO journals VALUES (?,?,?,?,?,?,?,?)",
@@ -284,25 +366,46 @@ def _sync_journal(store: ResultStore, path: Path, kind: str,
 def sync(store: ResultStore,
          cache_dir: Optional[Union[str, Path]] = None,
          scenario_dir: Optional[Union[str, Path]] = None,
+         telemetry_dir: Optional[Union[str, Path]] = None,
          journals: Optional[Iterable[JournalSpec]] = None,
          full: bool = False) -> SyncReport:
     """Bring the warehouse up to date with the journals (incrementally).
 
     ``journals`` overrides discovery for callers that track an explicit set;
     everyone else gets the cache journal plus every sink in the scenario
-    directory.  ``full=True`` forces a from-zero resync of every journal
-    without touching other journals' rows.
+    directory plus every telemetry journal.  ``full=True`` forces a
+    from-zero resync of every journal without touching other journals' rows.
     """
     specs = list(journals) if journals is not None else discover_journals(
-        cache_dir, scenario_dir)
+        cache_dir, scenario_dir, telemetry_dir)
+    with_span = _ingest_span(store)
     results = tuple(_sync_journal(store, Path(path), kind, full)
                     for path, kind in specs)
+    with_span(sum(j.ingested for j in results))
     return SyncReport(journals=results)
+
+
+def _ingest_span(store: ResultStore):
+    """Start timing one warehouse sync; returns a ``finish(rows)`` callback."""
+    from repro.telemetry.recorder import RECORDER
+    if not RECORDER.enabled:
+        return lambda rows: None
+    start_wall = time.time()
+    start_perf = time.perf_counter()
+
+    def finish(rows: int) -> None:
+        RECORDER.record_span("warehouse.sync", start_wall,
+                             time.perf_counter() - start_perf,
+                             backend=store.backend, rows=rows)
+        RECORDER.count("warehouse.rows_ingested", rows)
+
+    return finish
 
 
 def rebuild(store: ResultStore,
             cache_dir: Optional[Union[str, Path]] = None,
             scenario_dir: Optional[Union[str, Path]] = None,
+            telemetry_dir: Optional[Union[str, Path]] = None,
             journals: Optional[Iterable[JournalSpec]] = None) -> SyncReport:
     """Drop every derived row and re-ingest all journals from byte zero.
 
@@ -316,7 +419,7 @@ def rebuild(store: ResultStore,
     store.execute("DELETE FROM journals")
     store.commit()
     return sync(store, cache_dir=cache_dir, scenario_dir=scenario_dir,
-                journals=journals, full=True)
+                telemetry_dir=telemetry_dir, journals=journals, full=True)
 
 
 # ----------------------------------------------------------------------
@@ -339,22 +442,61 @@ def _journal_view(path: Path, kind: str) -> Dict[tuple, str]:
     return view
 
 
+def _telemetry_view(path: Path) -> Dict[int, str]:
+    """The telemetry journal's view: line end offset -> canonical JSON.
+
+    The journal is append-only (no last-wins fold): every complete, usable
+    line is exactly one warehouse row, identified by its end offset.
+    """
+    view: Dict[int, str] = {}
+    for record, end in iter_journal_entries(path, 0, complete_only=True):
+        if record is not None and is_current_telemetry_record(record):
+            view[end] = _canonical(record)
+    return view
+
+
+def _telemetry_parity(store: ResultStore, path: Path,
+                      mismatches: List[str]) -> None:
+    """Compare one telemetry journal against its spans + metrics rows."""
+    jid = journal_id(path)
+    expected = _telemetry_view(path) if path.exists() else {}
+    got: Dict[int, str] = {}
+    for table in ("spans", "metrics"):
+        for offset, raw in store.query(
+                f"SELECT offset, raw FROM {table} WHERE journal = ?",
+                (jid,)).rows:
+            got[int(offset)] = raw
+    for offset in expected.keys() - got.keys():
+        mismatches.append(f"{jid}: missing telemetry row @ offset {offset}")
+    for offset in got.keys() - expected.keys():
+        mismatches.append(f"{jid}: phantom telemetry row @ offset {offset}")
+    for offset in expected.keys() & got.keys():
+        if expected[offset] != got[offset]:
+            mismatches.append(f"{jid}: telemetry row @ offset {offset} "
+                              f"differs from the journal line")
+
+
 def parity_check(store: ResultStore,
                  cache_dir: Optional[Union[str, Path]] = None,
                  scenario_dir: Optional[Union[str, Path]] = None,
+                 telemetry_dir: Optional[Union[str, Path]] = None,
                  journals: Optional[Iterable[JournalSpec]] = None) -> List[str]:
     """Prove warehouse rows bit-equal to the journals' last-wins view.
 
     Returns a list of human-readable mismatches (empty = parity holds):
     missing rows, phantom rows, rows whose canonical JSON differs, and
     counter rows whose count disagrees with the journal's records.
+    Telemetry journals compare per line (offset-keyed, no last-wins fold).
     """
     specs = list(journals) if journals is not None else discover_journals(
-        cache_dir, scenario_dir)
+        cache_dir, scenario_dir, telemetry_dir)
     mismatches: List[str] = []
     for path, kind in specs:
         path = Path(path)
         jid = journal_id(path)
+        if kind == KIND_TELEMETRY:
+            _telemetry_parity(store, path, mismatches)
+            continue
         expected = _journal_view(path, kind) if path.exists() else {}
         table = "jobs" if kind == KIND_CACHE else "scenario_runs"
         key_col = "hash" if kind == KIND_CACHE else "key"

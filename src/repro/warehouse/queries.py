@@ -101,6 +101,20 @@ CANNED: Dict[str, CannedQuery] = {q.name: q for q in (
         """,
     ),
     CannedQuery(
+        name="span-times",
+        description="per telemetry span name: count, total/avg/max seconds "
+                    "across every ingested telemetry journal",
+        sql="""
+            SELECT name, COUNT(*) AS spans,
+                   SUM(duration) AS total_seconds,
+                   AVG(duration) AS avg_seconds,
+                   MAX(duration) AS max_seconds
+            FROM spans
+            GROUP BY name
+            ORDER BY total_seconds DESC
+        """,
+    ),
+    CannedQuery(
         name="scenarios",
         description="per scenario: recorded points, grid coverage and "
                     "cycle range across every sink ever synced",
@@ -180,6 +194,37 @@ def render_status(store: ResultStore) -> str:
         lines.append(f"journal [{kind:<5}] : {journal} -- offset {offset}, "
                      f"{rows} row(s), {skipped} skipped{behind}")
     return "\n".join(lines)
+
+
+def status_payload(store: ResultStore) -> Dict[str, object]:
+    """The warehouse state as JSON-ready data (``--json`` surfaces).
+
+    Same facts as :func:`render_status`: backend, per-table row counts and
+    per-journal sync offsets.
+    """
+    size = store.path.stat().st_size if store.path.exists() else 0
+    journals = []
+    for journal, kind, offset, rows, skipped in store.query(
+            "SELECT journal, kind, offset, rows, skipped FROM journals "
+            "ORDER BY journal").rows:
+        path = Path(journal)
+        behind = path.stat().st_size - offset if path.exists() else None
+        journals.append({
+            "journal": journal,
+            "kind": kind,
+            "offset": offset,
+            "rows": rows,
+            "skipped": skipped,
+            "bytes_behind": behind,
+            "synced": behind == 0,
+        })
+    return {
+        "warehouse": str(store.path),
+        "backend": store.backend,
+        "size_bytes": size,
+        "tables": table_counts(store),
+        "journals": journals,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -24,6 +24,14 @@ Tables
     The normalized performance-counter rows of both record kinds: one
     ``(journal, key, name, value)`` row per counter, keyed alongside the
     owning record's version columns.
+``spans`` / ``metrics``
+    The telemetry journal's two record kinds, keyed by ``(journal, byte
+    offset)`` -- the journal is append-only and never compacted, so the
+    offset is a stable identity and incremental sync appends naturally.
+    ``spans`` flattens one finished span per row (id/parent/name/start/
+    duration, tags as JSON); ``metrics`` holds counter and gauge values
+    plus histogram sums/counts/buckets.  Both keep the canonical line in
+    ``raw`` so telemetry shares the same bit-equal parity proof as results.
 ``journals``
     Per-journal sync state: the byte offset ingested so far, a hash of the
     journal's head (so an in-place compaction/rewrite is detected and
@@ -37,16 +45,19 @@ from __future__ import annotations
 
 #: Bump when the warehouse table layout changes; mismatched stores are
 #: dropped and rebuilt from the journals on next open.
-WAREHOUSE_SCHEMA_VERSION = 1
+#: v2: added the telemetry projection (``spans`` + ``metrics`` tables).
+WAREHOUSE_SCHEMA_VERSION = 2
 
 #: Journal kinds (the ``journals.kind`` column).
 KIND_CACHE = "cache"
 KIND_SINK = "sink"
+KIND_TELEMETRY = "telemetry"
 
-TABLES = ("meta", "journals", "jobs", "scenario_runs", "counters")
+TABLES = ("meta", "journals", "jobs", "scenario_runs", "counters",
+          "spans", "metrics")
 
 #: Tables holding journal-derived rows (cleared per-journal on resync).
-RECORD_TABLES = ("jobs", "scenario_runs", "counters")
+RECORD_TABLES = ("jobs", "scenario_runs", "counters", "spans", "metrics")
 
 DDL = [
     """
@@ -127,7 +138,41 @@ DDL = [
         PRIMARY KEY (journal, key, simulator, schema_version, name)
     )
     """,
+    """
+    CREATE TABLE IF NOT EXISTS spans (
+        journal  TEXT NOT NULL,
+        offset   BIGINT NOT NULL,
+        run      TEXT NOT NULL,
+        pid      BIGINT NOT NULL,
+        span_id  BIGINT NOT NULL,
+        parent   BIGINT,
+        name     TEXT NOT NULL,
+        start    DOUBLE NOT NULL,
+        duration DOUBLE NOT NULL,
+        tags     TEXT NOT NULL,
+        raw      TEXT NOT NULL,
+        PRIMARY KEY (journal, offset)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS metrics (
+        journal      TEXT NOT NULL,
+        offset       BIGINT NOT NULL,
+        run          TEXT NOT NULL,
+        pid          BIGINT NOT NULL,
+        metric_type  TEXT NOT NULL,
+        name         TEXT NOT NULL,
+        value        DOUBLE,
+        value_sum    DOUBLE,
+        observations BIGINT,
+        buckets      TEXT,
+        raw          TEXT NOT NULL,
+        PRIMARY KEY (journal, offset)
+    )
+    """,
     "CREATE INDEX IF NOT EXISTS idx_jobs_problem ON jobs (problem, config_name)",
     "CREATE INDEX IF NOT EXISTS idx_runs_scenario ON scenario_runs (scenario)",
     "CREATE INDEX IF NOT EXISTS idx_counters_name ON counters (name)",
+    "CREATE INDEX IF NOT EXISTS idx_spans_name ON spans (name)",
+    "CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics (name)",
 ]

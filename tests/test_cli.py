@@ -98,15 +98,15 @@ def test_campaign_run_status_and_clear_cache(tmp_path, capsys):
     base = ["campaign", "run", "--kernels", "vecadd", "--sweep", "smoke",
             "--scale", "smoke", "--cache-dir", cache_dir]
     assert main(base + ["--workers", "2", "--claims"]) == 0
-    cold = capsys.readouterr().out
-    assert "lws=1/ours avg" in cold
-    assert "C1" in cold
-    assert "0 hit(s)" in cold
+    cold = capsys.readouterr()
+    assert "lws=1/ours avg" in cold.out
+    assert "C1" in cold.out
+    assert "0 hit(s)" in cold.err         # stats are diagnostics -> stderr
 
     # second run: fully cache-served, zero misses
     assert main(base) == 0
-    warm = capsys.readouterr().out
-    assert "0 miss(es)" in warm
+    warm = capsys.readouterr()
+    assert "0 miss(es)" in warm.err
 
     assert main(["campaign", "status", "--cache-dir", cache_dir]) == 0
     status = capsys.readouterr().out
@@ -137,14 +137,14 @@ def test_scenario_run_resume_report_cycle(tmp_path, capsys, monkeypatch):
             "--cache-dir", cache_dir]
 
     assert main(base) == 0
-    first = capsys.readouterr().out
-    assert "6 unique job(s): 0 resumed from sink, 6 executed" in first
-    assert "scaling-smoke.jsonl" in first
-    assert "| cores |" in first
+    first = capsys.readouterr()
+    assert "6 unique job(s): 0 resumed from sink, 6 executed" in first.err
+    assert "scaling-smoke.jsonl" in first.err
+    assert "| cores |" in first.out       # the report itself stays on stdout
 
     assert main(["scenario", "resume", "scaling", "--scale", "smoke",
                  "--cache-dir", cache_dir]) == 0
-    resumed = capsys.readouterr().out
+    resumed = capsys.readouterr().err
     assert "6 resumed from sink, 0 executed" in resumed
 
     assert main(["scenario", "report", "scaling", "--scale", "smoke"]) == 0

@@ -64,6 +64,16 @@ def test_tracer_event_cap_truncates_gracefully():
     assert tracer.dropped > 0
 
 
+def test_tracer_warns_once_when_the_cap_is_hit(capsys):
+    tracer = Tracer(max_events=5)
+    device = Device(CONFIG, tracer=tracer)
+    problem = make_problem("vecadd", scale="smoke")
+    launch_kernel(device, problem.kernel, problem.arguments, problem.global_size)
+    err = capsys.readouterr().err
+    assert err.count("trace truncated") == 1         # once, not per event
+    assert "max_events=5" in err
+
+
 def test_tracer_filters_by_core_and_section():
     tracer = Tracer(sections=["store"])
     device = Device(CONFIG, tracer=tracer)
@@ -185,6 +195,16 @@ def test_render_summary_reports_key_metrics():
     text = render_summary(tracer.events, result.counters, CONFIG.threads_per_warp)
     assert "issue utilisation" in text
     assert "boundedness" in text
+    assert "TRUNCATED" not in text                   # complete trace says nothing
+
+
+def test_render_summary_flags_a_truncated_trace():
+    tracer, result = _traced_launch()
+    text = render_summary(tracer.events, result.counters,
+                          CONFIG.threads_per_warp, dropped=17)
+    assert "TRUNCATED" in text
+    assert "17 event(s) dropped" in text
+    assert "partial trace" in text
 
 
 def test_json_and_csv_export_round_trip(tmp_path):

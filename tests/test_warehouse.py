@@ -117,7 +117,7 @@ class TestBackends:
     def test_sqlite_is_the_default_and_creates_the_schema(self, store):
         assert store.backend == "sqlite"
         assert table_counts(store) == {"jobs": 0, "scenario_runs": 0,
-                                       "counters": 0}
+                                       "counters": 0, "spans": 0, "metrics": 0}
 
     def test_backend_env_is_honoured(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV, "duckdb")
@@ -246,7 +246,7 @@ class TestSync:
         cache_journal.unlink()
         sync(store, journals=journals)
         assert table_counts(store) == {"jobs": 0, "scenario_runs": 0,
-                                       "counters": 0}
+                                       "counters": 0, "spans": 0, "metrics": 0}
 
     def test_stale_version_records_are_kept_per_version(self, store, tmp_path):
         old = cache_record("h0", cycles=100)
