@@ -22,11 +22,12 @@ Exposes the library's main workflows without writing Python::
     python -m repro telemetry summary
     python -m repro telemetry export prometheus -o metrics.prom
 
-``--engine {reference,fast}`` (or the ``REPRO_ENGINE`` environment variable)
-selects the simulation engine for every launch of the invocation.  The two
-engines are bit-identical -- same cycles, counters and output buffers,
-enforced by ``tests/test_engine_differential.py`` -- so the choice never
-affects results, only wall-clock time.
+``--engine {reference,fast,batch}`` (or the ``REPRO_ENGINE`` environment
+variable) selects the simulation engine for every launch of the invocation.
+The three engines are bit-identical -- same cycles, counters and output
+buffers, enforced by ``tests/test_engine_differential.py`` and
+``tests/test_engine_fuzz.py`` -- so the choice never affects results, only
+wall-clock time.
 
 ``info`` answers the runtime question the paper poses (what lws should this
 launch use on this machine) and ``run`` executes a single workload under a
@@ -181,9 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine", choices=ENGINES, default=None,
         help="simulation engine driving every launch of this invocation "
-             f"(default: ${ENGINE_ENV} or '{DEFAULT_ENGINE}').  Both engines "
+             f"(default: ${ENGINE_ENV} or '{DEFAULT_ENGINE}').  All engines "
              "produce bit-identical cycles, counters and output buffers; "
-             "'fast' is simply quicker.",
+             "'fast' and 'batch' are simply quicker.",
     )
     parser.add_argument(
         "--telemetry", action="store_true",

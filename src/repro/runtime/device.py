@@ -31,10 +31,12 @@ class Device:
     # ------------------------------------------------------------------ hardware queries
     @property
     def engine(self) -> str:
-        """Simulation engine driving this device (``"reference"`` or ``"fast"``).
+        """Simulation engine driving this device (``"reference"``, ``"fast"``
+        or ``"batch"``).
 
-        Both engines produce bit-identical results (cycles, counters, output
-        buffers); ``fast`` is simply quicker.  See :mod:`repro.sim.engine`.
+        All engines produce bit-identical results (cycles, counters, output
+        buffers); ``fast`` and ``batch`` are simply quicker.  See
+        :mod:`repro.sim.engine`.
         """
         return self.gpu.engine
 

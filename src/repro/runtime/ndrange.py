@@ -56,17 +56,20 @@ class NDRange:
             local = total
         object.__setattr__(self, "global_dims", dims)
         object.__setattr__(self, "local_size", local)
+        # Dispatch queries these once per workgroup; precompute them.
+        object.__setattr__(self, "_total", total)
+        object.__setattr__(self, "_num_wg", math.ceil(total / local))
 
     # ------------------------------------------------------------------
     @property
     def global_size(self) -> int:
         """Flattened global work size (``gws``)."""
-        return math.prod(self.global_dims)
+        return self._total
 
     @property
     def num_workgroups(self) -> int:
         """Number of workgroups the launch decomposes into."""
-        return math.ceil(self.global_size / self.local_size)
+        return self._num_wg
 
     def workgroup_size(self, workgroup_id: int) -> int:
         """Number of work-items in ``workgroup_id`` (the last group may be partial)."""

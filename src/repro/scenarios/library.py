@@ -9,7 +9,7 @@ Importing this module registers every built-in scenario in the process-wide
   record-conversion helpers, so the numbers are bit-identical), and
 * four sweeps the declarative layer makes cheap -- ``scaling`` (cores 1..32
   at fixed gws), ``scheduler-sweep`` (RR vs GTO across kernels),
-  ``engine-compare`` (reference vs fast wall time on identical grids) and
+  ``engine-compare`` (reference vs fast vs batch wall time on identical grids) and
   ``cache-sensitivity`` (L1/L2 capacity sweep).
 
 Each scenario is a grid declaration plus an analysis function over sink
@@ -244,7 +244,7 @@ def _engine_grid(context: ScenarioContext) -> GridAxes:
         problems=context.problems if context.problems else ("vecadd", "sgemm"),
         configs=(ArchConfig(cores=4, warps_per_core=8, threads_per_warp=8),),
         strategies=("ours",),
-        engines=("reference", "fast"),
+        engines=("reference", "fast", "batch"),
         call_simulation_limit=None if context.exact_calls else 3,
     )
 
@@ -258,25 +258,40 @@ def _engine_analyze(run) -> str:
             by_point[point] = {}
             order.append(point)
         by_point[point][str(record.meta["engine"])] = record.result
+    # Column order follows the grid's engine tiers: reference first, then
+    # each accelerated engine with its wall-time ratio over the reference.
+    engines = [e for e in ("reference", "fast", "batch")
+               if any(e in engines_at for engines_at in by_point.values())]
+    accelerated = [e for e in engines if e != "reference"]
     rows = []
     mismatches = 0
     for point in order:
-        ref, fast = by_point[point]["reference"], by_point[point]["fast"]
-        identical = (ref.cycles == fast.cycles
-                     and ref.counters == fast.counters)
+        ref = by_point[point]["reference"]
+        identical = all(
+            by_point[point][e].cycles == ref.cycles
+            and by_point[point][e].counters == ref.counters
+            for e in accelerated if e in by_point[point])
         mismatches += 0 if identical else 1
-        ratio = (ref.elapsed_seconds / fast.elapsed_seconds
-                 if fast.elapsed_seconds else 0.0)
-        rows.append([point[0], point[1], str(ref.cycles),
-                     "yes" if identical else "NO",
-                     f"{ref.elapsed_seconds:.2f}s", f"{fast.elapsed_seconds:.2f}s",
-                     f"{ratio:.2f}x"])
+        row = [point[0], point[1], str(ref.cycles),
+               "yes" if identical else "NO",
+               f"{ref.elapsed_seconds:.2f}s"]
+        for e in accelerated:
+            result = by_point[point].get(e)
+            if result is None:
+                row.extend(["-", "-"])
+                continue
+            ratio = (ref.elapsed_seconds / result.elapsed_seconds
+                     if result.elapsed_seconds else 0.0)
+            row.extend([f"{result.elapsed_seconds:.2f}s", f"{ratio:.2f}x"])
+        rows.append(row)
     verdict = ("bit-identical on every point"
                if mismatches == 0 else f"{mismatches} MISMATCHED point(s)")
-    return ("Engine comparison (reference vs fast, identical grids, "
+    header = ["kernel", "machine", "cycles", "identical", "reference"]
+    for e in accelerated:
+        header.extend([e, f"{e} x"])
+    return (f"Engine comparison ({' vs '.join(engines)}, identical grids, "
             "uncached wall time):\n"
-            + render_table(["kernel", "machine", "cycles", "identical",
-                            "reference", "fast", "speedup"], rows)
+            + render_table(header, rows)
             + f"\n\ncounters {verdict}")
 
 
@@ -369,7 +384,7 @@ SCHEDULER_SCENARIO = register(Scenario(
 
 ENGINE_COMPARE_SCENARIO = register(Scenario(
     name="engine-compare",
-    description="reference vs fast engine: bit-identical counters, wall-time ratio",
+    description="reference vs fast vs batch engines: bit-identical counters, wall-time ratios",
     grid=_engine_grid,
     analyze=_engine_analyze,
     cacheable=False,

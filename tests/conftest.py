@@ -8,10 +8,20 @@ tests) exercises the larger scales.
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.sim.config import ArchConfig
 from repro.runtime.device import Device
 from repro.workloads.problems import make_problem
+
+# Simulation-backed hypothesis tests routinely blow the default 200ms
+# per-example deadline on slow CI runners (the first example of a process
+# pays numpy warm-up, and a launch at an unlucky random geometry is legal
+# but slow).  Deadline flakiness is not a property violation, so the whole
+# suite runs under a no-deadline profile; shrinking and verbosity behave
+# exactly as before.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
 
 
 def pytest_addoption(parser):

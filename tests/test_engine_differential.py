@@ -1,17 +1,25 @@
-"""Differential test layer: the ``fast`` engine against the reference oracle.
+"""Differential test layer: ``fast`` and ``batch`` against the reference oracle.
 
-The fast engine (:mod:`repro.sim.fastcore` + the event-skipping loop in
-:meth:`repro.sim.gpu.Gpu._run_fast`) promises **bit-identical** results to the
-reference engine -- not statistically close, not within a tolerance:
-identical.  This suite holds it to that across every library kernel:
+The accelerated engines (:mod:`repro.sim.fastcore` with the event-skipping
+loop, and :mod:`repro.sim.batchcore` with cross-warp streaming on top of it)
+promise **bit-identical** results to the reference engine -- not
+statistically close, not within a tolerance: identical.  This suite holds
+every engine in :data:`repro.sim.engine.ENGINES` to that across every
+library kernel:
 
-* every workload x several machine shapes: identical cycles, identical
-  output buffers (``np.array_equal``, so NaNs and signed zeros would fail),
-  and every single :class:`~repro.sim.stats.PerfCounters` field;
-* identical *issue traces*: the event-skipping loop may jump the clock, but
-  it must never reorder or retime a single instruction issue;
+* every workload x several machine shapes x every engine: identical cycles,
+  identical output buffers (``np.array_equal``, so NaNs and signed zeros
+  would fail), and every single :class:`~repro.sim.stats.PerfCounters` field;
+* identical *issue traces*: event skipping may jump the clock and batch
+  streaming may commit whole uniform rounds at once, but neither may reorder
+  or retime a single instruction issue;
+* the divergence-stress fixtures (``tests/engine_fixtures.py``) run the same
+  grid, hammering the batch engine's fallback transitions;
 * identical campaign content hashes: the engine is a presentation/performance
   concern, so a result cached under one engine must be served under the other.
+
+Random-program coverage on top of this fixed grid lives in
+``tests/test_engine_fuzz.py``.
 """
 
 import dataclasses
@@ -19,6 +27,9 @@ import dataclasses
 import numpy as np
 import pytest
 
+from engine_fixtures import (assert_engines_identical, make_branch_storm_kernel,
+                             make_strided_gather_kernel, run_engines,
+                             stress_arguments)
 from repro.campaign.spec import JobSpec
 from repro.runtime.device import Device
 from repro.runtime.launcher import launch_kernel
@@ -54,34 +65,41 @@ def test_grid_covers_all_library_kernels():
 @pytest.mark.parametrize("config_name", CONFIG_NAMES)
 @pytest.mark.parametrize("problem_name", ALL_PROBLEMS)
 def test_engines_bit_identical(problem_name, config_name):
-    reference = run_problem(problem_name, config_name, "reference")
-    fast = run_problem(problem_name, config_name, "fast")
-
-    assert fast.cycles == reference.cycles
-    assert fast.sim_cycles == reference.sim_cycles
-    assert fast.overhead_cycles == reference.overhead_cycles
-    assert fast.call_cycles == reference.call_cycles
-    assert fast.local_size == reference.local_size
-    assert fast.num_calls == reference.num_calls
-
+    """The full 9-kernel x 3-shape x 3-engine matrix."""
+    results = {engine: run_problem(problem_name, config_name, engine)
+               for engine in ENGINES}
+    reference = results["reference"]
     ref_counters = reference.counters.as_dict()
-    fast_counters = fast.counters.as_dict()
-    for field, ref_value in ref_counters.items():
-        assert fast_counters[field] == ref_value, (
-            f"{problem_name}/{config_name}: counter {field!r} diverged "
-            f"(reference={ref_value}, fast={fast_counters[field]})"
-        )
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        result = results[engine]
+        assert result.cycles == reference.cycles
+        assert result.sim_cycles == reference.sim_cycles
+        assert result.overhead_cycles == reference.overhead_cycles
+        assert result.call_cycles == reference.call_cycles
+        assert result.local_size == reference.local_size
+        assert result.num_calls == reference.num_calls
 
-    assert set(fast.outputs) == set(reference.outputs)
-    for name, ref_array in reference.outputs.items():
-        assert np.array_equal(fast.outputs[name], ref_array), (
-            f"{problem_name}/{config_name}: output buffer {name!r} diverged"
-        )
+        counters = result.counters.as_dict()
+        for field, ref_value in ref_counters.items():
+            assert counters[field] == ref_value, (
+                f"{problem_name}/{config_name}: counter {field!r} diverged "
+                f"(reference={ref_value}, {engine}={counters[field]})"
+            )
+
+        assert set(result.outputs) == set(reference.outputs)
+        for name, ref_array in reference.outputs.items():
+            assert np.array_equal(result.outputs[name], ref_array), (
+                f"{problem_name}/{config_name}: output buffer {name!r} "
+                f"diverged under {engine}"
+            )
 
 
 @pytest.mark.parametrize("problem_name", ["vecadd", "sgemm", "gaussian"])
 def test_event_skipping_preserves_issue_order(problem_name):
-    """The fast loop may jump the clock but must not reorder a single issue.
+    """Neither the fast loop's clock jumps nor the batch engine's streamed
+    rounds may reorder a single issue.
 
     Compared as full event tuples: cycle, core, warp, pc, opcode, mask and
     call index of every instruction issue, in issue order.
@@ -92,17 +110,23 @@ def test_event_skipping_preserves_issue_order(problem_name):
         run_problem(problem_name, "4c4w8t", engine, tracer=tracer)
         assert not tracer.truncated
         traces[engine] = [dataclasses.astuple(event) for event in tracer.events]
-    assert traces["fast"] == traces["reference"]
+    for engine in ENGINES:
+        assert traces[engine] == traces["reference"], (
+            f"{problem_name}: {engine} issue trace diverged")
 
 
 @pytest.mark.parametrize("local_size", [1, 3, 8, 64])
 def test_engines_agree_on_forced_local_sizes(local_size):
     """Partial warps and many sequential calls (lws=1, lws=3) are covered too."""
-    reference = run_problem("vecadd", "1c2w4t", "reference", local_size=local_size)
-    fast = run_problem("vecadd", "1c2w4t", "fast", local_size=local_size)
-    assert fast.cycles == reference.cycles
-    assert fast.counters.as_dict() == reference.counters.as_dict()
-    assert np.array_equal(fast.outputs["c"], reference.outputs["c"])
+    results = {engine: run_problem("vecadd", "1c2w4t", engine,
+                                   local_size=local_size)
+               for engine in ENGINES}
+    reference = results["reference"]
+    for engine in ENGINES:
+        result = results[engine]
+        assert result.cycles == reference.cycles, engine
+        assert result.counters.as_dict() == reference.counters.as_dict(), engine
+        assert np.array_equal(result.outputs["c"], reference.outputs["c"]), engine
 
 
 @pytest.mark.parametrize("problem_name", ["vecadd", "sgemm", "gaussian"])
@@ -117,11 +141,13 @@ def test_engines_agree_under_gto_scheduler(problem_name):
         device = Device(config, engine=engine)
         results[engine] = launch_kernel(device, problem.kernel, problem.arguments,
                                         problem.global_size)
-    reference, fast = results["reference"], results["fast"]
-    assert fast.cycles == reference.cycles
-    assert fast.counters.as_dict() == reference.counters.as_dict()
-    for name, ref_array in reference.outputs.items():
-        assert np.array_equal(fast.outputs[name], ref_array)
+    reference = results["reference"]
+    for engine in ENGINES:
+        result = results[engine]
+        assert result.cycles == reference.cycles, engine
+        assert result.counters.as_dict() == reference.counters.as_dict(), engine
+        for name, ref_array in reference.outputs.items():
+            assert np.array_equal(result.outputs[name], ref_array), engine
 
 
 def test_integer_ops_keep_exact_python_semantics():
@@ -175,12 +201,45 @@ def test_integer_ops_keep_exact_python_semantics():
         div(None, warp, 0)
 
 
-def test_repeated_fast_launches_are_stable():
-    """The fast engine's decode cache must not leak state across launches."""
-    first = run_problem("saxpy", "4c4w8t", "fast")
-    second = run_problem("saxpy", "4c4w8t", "fast")
+@pytest.mark.parametrize("engine", ["fast", "batch"])
+def test_repeated_launches_are_stable(engine):
+    """Neither the fast decode cache nor the batch compile cache may leak
+    state across launches."""
+    first = run_problem("saxpy", "4c4w8t", engine)
+    second = run_problem("saxpy", "4c4w8t", engine)
     assert first.cycles == second.cycles
     assert first.counters.as_dict() == second.counters.as_dict()
+
+
+# ----------------------------------------------------------------------
+# divergence-stress fixtures (unregistered kernels, see engine_fixtures)
+# ----------------------------------------------------------------------
+_STRESS_SIZE = 64
+
+
+@pytest.mark.parametrize("config_name", CONFIG_NAMES)
+@pytest.mark.parametrize("make_kernel", [
+    make_branch_storm_kernel,
+    lambda: make_strided_gather_kernel(_STRESS_SIZE),
+], ids=["branch_storm", "strided_gather"])
+def test_divergence_stress_fixtures_bit_identical(make_kernel, config_name):
+    """Irregular branching and strided gathers keep warps off uniform PCs,
+    forcing the batch engine through its stream/fallback transitions."""
+    kernel = make_kernel()
+    results = run_engines(kernel, stress_arguments(_STRESS_SIZE),
+                          ArchConfig.from_name(config_name), _STRESS_SIZE)
+    assert_engines_identical(results, f"{kernel.name}/{config_name}")
+
+
+@pytest.mark.parametrize("local_size", [1, 3, 7])
+def test_divergence_stress_fixtures_forced_lws(local_size):
+    """Stress fixtures under forced tiny lws: partial warps on top of
+    divergence, across many sequential kernel calls."""
+    kernel = make_branch_storm_kernel()
+    results = run_engines(kernel, stress_arguments(_STRESS_SIZE),
+                          ArchConfig.from_name("1c2w4t"), _STRESS_SIZE,
+                          local_size=local_size)
+    assert_engines_identical(results, f"{kernel.name}/lws={local_size}")
 
 
 # ----------------------------------------------------------------------
@@ -233,7 +292,9 @@ def test_campaign_hash_and_results_identical_across_engines(monkeypatch):
     for engine in ENGINES:
         monkeypatch.setenv("REPRO_ENGINE", engine)
         records[engine] = run_spec(spec)
-    reference, fast = records["reference"], records["fast"]
-    assert fast.job_hash == reference.job_hash
-    assert fast.cycles == reference.cycles
-    assert fast.counters == reference.counters
+    reference = records["reference"]
+    for engine in ENGINES:
+        record = records[engine]
+        assert record.job_hash == reference.job_hash, engine
+        assert record.cycles == reference.cycles, engine
+        assert record.counters == reference.counters, engine

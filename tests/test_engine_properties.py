@@ -40,7 +40,7 @@ machine_shapes = st.tuples(
 # ----------------------------------------------------------------------
 # Eq. 1 invariants
 # ----------------------------------------------------------------------
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=200)
 @given(gws=st.integers(min_value=1, max_value=10**7), shape=machine_shapes)
 def test_eq1_lws_fills_machine_in_one_call(gws, shape):
     cores, warps, threads = shape
@@ -55,7 +55,7 @@ def test_eq1_lws_fills_machine_in_one_call(gws, shape):
     assert kernel_calls_for(gws, lws, config) == 1
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=200)
 @given(multiple=st.integers(min_value=1, max_value=4096), shape=machine_shapes)
 def test_eq1_divides_gws_exactly_when_hp_divides_gws(multiple, shape):
     cores, warps, threads = shape
@@ -68,7 +68,7 @@ def test_eq1_divides_gws_exactly_when_hp_divides_gws(multiple, shape):
     assert workgroups_for(gws, lws) == hp      # exactly one group per lane
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=200)
 @given(gws=st.integers(min_value=1, max_value=10**6), shape=machine_shapes)
 def test_eq1_lws_never_exceeds_problem_after_clamp(gws, shape):
     cores, warps, threads = shape
@@ -81,7 +81,7 @@ def test_eq1_lws_never_exceeds_problem_after_clamp(gws, shape):
 # ----------------------------------------------------------------------
 # scheduler invariants
 # ----------------------------------------------------------------------
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 @given(num_warps=st.integers(min_value=1, max_value=32),
        issues=st.lists(st.integers(min_value=0, max_value=63), max_size=50),
        policy=st.sampled_from(["rr", "gto"]))
@@ -94,7 +94,7 @@ def test_priority_order_is_always_a_permutation(num_warps, issues, policy):
     assert sorted(scheduler.priority_order()) == list(range(num_warps))
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 @given(num_warps=st.integers(min_value=1, max_value=32),
        issuer=st.integers(min_value=0, max_value=63))
 def test_round_robin_rotates_one_past_the_issuer(num_warps, issuer):
@@ -105,7 +105,7 @@ def test_round_robin_rotates_one_past_the_issuer(num_warps, issuer):
     assert order == [(order[0] + offset) % num_warps for offset in range(num_warps)]
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=100)
 @given(num_warps=st.integers(min_value=2, max_value=32),
        first=st.integers(min_value=0, max_value=63),
        second=st.integers(min_value=0, max_value=63))
@@ -119,7 +119,7 @@ def test_gto_prioritizes_current_then_oldest(num_warps, first, second):
         assert order[-1] == first % num_warps      # most recently displaced is last
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 @given(num_warps=st.integers(min_value=1, max_value=16),
        attached=st.integers(min_value=1, max_value=16),
        start=st.integers(min_value=0, max_value=15))
@@ -139,7 +139,7 @@ def test_fast_engine_rotation_tables_match_round_robin(num_warps, attached, star
 # ----------------------------------------------------------------------
 # event-skipping never reorders warp issue (random geometries)
 # ----------------------------------------------------------------------
-@settings(max_examples=12, deadline=None)
+@settings(max_examples=12)
 @given(shape=st.tuples(st.integers(min_value=1, max_value=3),
                        st.integers(min_value=1, max_value=4),
                        st.integers(min_value=2, max_value=8)),
@@ -150,7 +150,7 @@ def test_event_skipping_issue_order_matches_reference(shape, lws, problem_name):
     config = ArchConfig(cores=cores, warps_per_core=warps, threads_per_warp=threads)
     problem = make_problem(problem_name, scale="smoke", seed=0)
     traces = {}
-    for engine in ("reference", "fast"):
+    for engine in ("reference", "fast", "batch"):
         tracer = Tracer(max_events=500_000)
         device = Device(config, tracer=tracer, engine=engine)
         result = launch_kernel(device, problem.kernel, problem.arguments,
@@ -159,3 +159,4 @@ def test_event_skipping_issue_order_matches_reference(shape, lws, problem_name):
         traces[engine] = ([dataclasses.astuple(event) for event in tracer.events],
                           result.cycles)
     assert traces["fast"] == traces["reference"]
+    assert traces["batch"] == traces["reference"]
