@@ -274,14 +274,28 @@ class ResultCache:
         terminate_partial_tail(self.journal_path)
 
     def clear(self) -> int:
-        """Delete the journal; returns how many usable entries were dropped."""
+        """Delete the journal; returns how many usable entries were dropped.
+
+        Also sweeps any ``results.jsonl.<pid>.tmp`` left by a concurrent
+        load's compaction (its ``os.replace`` loses the race with the unlink
+        and the temp file would otherwise sit in the directory forever) and
+        re-arms the tail check: the next append writes to a brand-new file,
+        and if another process re-creates the journal with a partial tail in
+        between, it must be repaired again, not trusted.
+        """
         dropped = len(self._index)
         if self.journal_path.exists():
             self.journal_path.unlink()
+        for stale_tmp in self.directory.glob(f"{CACHE_FILE_NAME}.*.tmp"):
+            try:
+                stale_tmp.unlink()
+            except OSError:
+                pass                      # already gone, or not ours to remove
         self._index.clear()
         self._stale = 0
         self._compacted = 0
         self._journal_lines = 0
+        self._tail_checked = False
         return dropped
 
     def stats(self) -> CacheStats:

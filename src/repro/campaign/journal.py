@@ -47,7 +47,10 @@ def iter_journal_entries(path: Path, start: int = 0,
 
     A line that is not a JSON object (the classic half-written tail of a
     dead process) yields ``None`` so callers can count it without crashing;
-    blank lines advance the offset without yielding.  The final line of a
+    blank lines also yield ``None`` -- they carry no record, but consumers
+    that persist the consumed offset (the warehouse sync) must see the
+    offset advance past them, or a journal with trailing blank lines would
+    be re-hashed and re-read on every subsequent pass.  The final line of a
     journal whose writer died mid-record has no terminating newline: with
     ``complete_only=True`` (the warehouse ingest mode) it is *not* yielded
     and not consumed -- the offset stops before it, and a later sync picks
@@ -72,6 +75,7 @@ def iter_journal_entries(path: Path, start: int = 0,
                 return
             stripped = raw.strip()
             if not stripped:
+                yield None, offset
                 continue
             yield _parse_line(stripped), offset
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import time
+import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -267,5 +268,7 @@ class CampaignRunner:
                             job_hash=specs[indices[0]].content_hash(),
                             label=specs[indices[0]].display_name(),
                             error=f"{type(error).__name__}: {error}",
+                            traceback="".join(traceback_module.format_exception(
+                                type(error), error, error.__traceback__)),
                         )
                     finish(indices, outcome, submitted)

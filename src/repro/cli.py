@@ -97,6 +97,7 @@ from repro.scenarios import (
     default_sink_path,
 )
 from repro.scenarios.library import figure2_result_from_run
+from repro.service.queue import SERVICE_DIR_ENV
 from repro.sim.config import ArchConfig
 from repro.sim.engine import DEFAULT_ENGINE, ENGINE_ENV, ENGINES
 from repro.telemetry.export import (
@@ -418,6 +419,47 @@ def build_parser() -> argparse.ArgumentParser:
                               "JSON, or the summary as JSON")
     texport.add_argument("-o", "--output", default=None,
                          help="write to a file instead of stdout")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP API",
+        description="Serve the async job API over the campaign stack: "
+                    "POST /jobs submits a scenario name or an ad-hoc grid, "
+                    "GET /jobs/{id} polls it, GET /jobs/{id}/events streams "
+                    "progress as Server-Sent Events, and /healthz + /metrics "
+                    "cover operations.  Jobs are journaled to a durable "
+                    "queue, so a killed server resumes pending work on "
+                    "restart; results are memoized in the shared campaign "
+                    "cache across all clients.",
+        epilog=f"Queue state lives under ./service (${SERVICE_DIR_ENV} or "
+               f"--queue-dir override); the result cache is the usual "
+               f"campaign cache directory.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port (default 8321; 0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent jobs in flight (default 2)")
+    serve.add_argument("--sim-workers", type=int, default=1,
+                       help="simulator processes per job (default 1)")
+    serve.add_argument("--queue-dir", default=None,
+                       help="service state directory (default ./service, "
+                            f"honouring ${SERVICE_DIR_ENV})")
+    serve.add_argument("--cache-dir", default=None,
+                       help="shared result cache directory (default: the "
+                            "campaign cache location)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="run every job fresh (disables the shared "
+                            "memoization cache)")
+    serve.add_argument("--rate", type=float, default=10.0,
+                       help="per-client request rate limit in requests/s "
+                            "(default 10; 0 disables)")
+    serve.add_argument("--burst", type=int, default=20,
+                       help="per-client burst allowance (default 20)")
+    serve.add_argument("--backend", choices=("stdlib", "uvicorn"),
+                       default="stdlib",
+                       help="HTTP serving backend (uvicorn only if installed)")
     return parser
 
 
@@ -782,6 +824,40 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Deferred import: the service stack (asyncio server, worker pool) is
+    # only needed by this one command.
+    from repro.service.routes import Service, ServiceConfig
+    from repro.service.server import serve as run_server
+
+    # The service always records telemetry: /metrics is part of its API, and
+    # the env var (not just the in-process switch) makes simulator worker
+    # processes inherit it.  The process exits when serving stops, so there
+    # is nothing to restore.
+    os.environ[TELEMETRY_ENV] = "1"
+    RECORDER.configure_from_env()
+
+    config = ServiceConfig(
+        queue_dir=Path(args.queue_dir) if args.queue_dir else None,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        use_cache=not args.no_cache,
+        workers=args.workers,
+        sim_workers=args.sim_workers,
+        rate=args.rate,
+        burst=args.burst,
+    )
+    service = Service(config)
+    _LOG.info("service starting", host=args.host, port=args.port,
+              queue=str(service.queue.path),
+              cache=(str(service.cache.directory)
+                     if service.cache is not None else "off"),
+              pending=service.queue.pending_count())
+    run_server(service.app, host=args.host, port=args.port,
+               backend=args.backend,
+               startup=service.startup, shutdown=service.shutdown)
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "run": _cmd_run,
@@ -792,6 +868,7 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "warehouse": _cmd_warehouse,
     "telemetry": _cmd_telemetry,
+    "serve": _cmd_serve,
 }
 
 

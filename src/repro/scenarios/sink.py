@@ -40,9 +40,16 @@ DEFAULT_SINK_DIR = "scenario-runs"
 
 
 def default_sink_dir() -> Path:
-    """The directory scenario sinks default to (``$REPRO_SCENARIO_DIR`` aware)."""
+    """The directory scenario sinks default to (``$REPRO_SCENARIO_DIR`` aware).
+
+    Always absolute: a long-running process (the service daemon) may change
+    its working directory after sinks were opened, and a CWD-relative default
+    would silently scatter journals -- and make ``discover_journals`` track
+    different files than were written.
+    """
     override = os.environ.get(SINK_DIR_ENV)
-    return Path(override).expanduser() if override else Path(DEFAULT_SINK_DIR)
+    base = Path(override).expanduser() if override else Path(DEFAULT_SINK_DIR)
+    return base if base.is_absolute() else Path.cwd() / base
 
 
 def default_sink_path(scenario_name: str, scale: str) -> Path:
@@ -99,7 +106,10 @@ class ResultSink:
     """Append-only JSONL store of :class:`SinkRecord` objects."""
 
     def __init__(self, path: Union[str, Path]):
-        self.path = Path(path).expanduser()
+        # Resolved to absolute at creation time: appends must keep landing in
+        # the same file even if the process later calls os.chdir().
+        path = Path(path).expanduser()
+        self.path = path if path.is_absolute() else Path.cwd() / path
         self.appended = 0          # records written by this instance
         self.skipped = 0           # unusable lines seen by the last load()
         self._tail_checked = False

@@ -1,0 +1,263 @@
+"""A thin, stdlib-only ASGI micro-framework (FastAPI-style routing).
+
+The service's HTTP surface is expressed exactly as it would be under
+FastAPI -- ``@app.route("/jobs/{id}")`` handlers taking a request and
+returning a response -- but implemented here over the bare ASGI 3 protocol
+in ~200 lines of stdlib Python, because this package must stay runnable in
+an environment with no web framework installed.  The resulting
+:class:`App` *is* a real ASGI application: point uvicorn (or any other ASGI
+server) at it when one is available, or serve it with the built-in
+:mod:`repro.service.server` asyncio server when not (that import guard
+lives in :func:`repro.service.server.serve`, mirroring the warehouse's
+dual-backend pattern).
+
+Handlers may be sync or async and return a :class:`Response`;
+:class:`EventStreamResponse` streams Server-Sent Events from an async
+iterator.  Every handled request is counted/timed in the telemetry recorder
+(``service.requests`` counter + ``service.request_seconds`` histogram +
+per-status-class counters), which is what ``/metrics`` serves back out.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import re
+import time
+import urllib.parse
+from typing import (
+    AsyncIterator,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.service.schemas import ValidationError
+from repro.telemetry.recorder import RECORDER
+
+#: HTTP reason phrases for the statuses the service actually emits.
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def reason_phrase(status: int) -> str:
+    return _REASONS.get(status, "Unknown")
+
+
+class Request:
+    """One parsed HTTP request (scope + fully-read body)."""
+
+    def __init__(self, scope: Dict, body: bytes = b""):
+        self.scope = scope
+        self.method: str = scope.get("method", "GET").upper()
+        self.path: str = scope.get("path", "/")
+        self.body = body
+        self.path_params: Dict[str, str] = {}
+        self.query: Dict[str, str] = {
+            key: values[-1] for key, values in urllib.parse.parse_qs(
+                (scope.get("query_string") or b"").decode("latin-1")).items()
+        }
+        self.headers: Dict[str, str] = {}
+        for name, value in scope.get("headers") or ():
+            self.headers[bytes(name).decode("latin-1").lower()] = (
+                bytes(value).decode("latin-1"))
+
+    @property
+    def client(self) -> str:
+        """The rate-limiting identity: ``X-Client`` header or peer address."""
+        explicit = self.headers.get("x-client")
+        if explicit:
+            return explicit
+        peer = self.scope.get("client")
+        return peer[0] if peer else "unknown"
+
+    def json(self) -> object:
+        """The body decoded as JSON (:class:`ValidationError` when it isn't)."""
+        if not self.body:
+            raise ValidationError("request body must be JSON, got nothing")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ValidationError(f"request body is not valid JSON: {error}")
+
+
+class Response:
+    """A complete (non-streaming) HTTP response."""
+
+    def __init__(self, body: bytes = b"", status: int = 200,
+                 content_type: str = "text/plain; charset=utf-8",
+                 headers: Optional[Sequence[Tuple[str, str]]] = None):
+        self.body = body
+        self.status = status
+        self.headers: List[Tuple[str, str]] = [("content-type", content_type)]
+        self.headers.extend(headers or ())
+
+
+class JSONResponse(Response):
+    """A JSON body (sorted keys, so responses are byte-stable)."""
+
+    def __init__(self, payload: object, status: int = 200,
+                 headers: Optional[Sequence[Tuple[str, str]]] = None):
+        super().__init__(
+            body=(json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+            status=status, content_type="application/json", headers=headers)
+
+
+class TextResponse(Response):
+    """A plain-text body (``/metrics``' Prometheus exposition)."""
+
+
+class EventStreamResponse:
+    """A Server-Sent-Events response fed by an async iterator of events.
+
+    Each yielded ``(event_name, payload_dict)`` becomes one SSE frame
+    (``event: <name>`` + ``data: <json>``).  The iterator ending ends the
+    response; the HTTP layer closes the connection afterwards (streaming
+    responses advertise no Content-Length).
+    """
+
+    status = 200
+    headers = [("content-type", "text/event-stream"),
+               ("cache-control", "no-cache")]
+
+    def __init__(self, events: AsyncIterator[Tuple[str, Dict]]):
+        self.events = events
+
+    async def frames(self) -> AsyncIterator[bytes]:
+        async for name, payload in self.events:
+            yield (f"event: {name}\n"
+                   f"data: {json.dumps(payload, sort_keys=True)}\n\n"
+                   ).encode("utf-8")
+
+
+#: A route handler: sync or async, ``Request -> Response-like``.
+Handler = Callable[[Request], object]
+
+
+class _Route:
+    """One registered path pattern (``/jobs/{id}`` style) + its handlers."""
+
+    _PARAM = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+    def __init__(self, path: str):
+        pattern = self._PARAM.sub(r"(?P<\1>[^/]+)", re.escape(path)
+                                  .replace(r"\{", "{").replace(r"\}", "}"))
+        self.path = path
+        self.regex = re.compile(f"^{pattern}$")
+        self.handlers: Dict[str, Handler] = {}
+
+
+class App:
+    """Routing table + ASGI 3 entry point."""
+
+    def __init__(self, title: str = "repro service"):
+        self.title = title
+        self._routes: List[_Route] = []
+
+    # ------------------------------------------------------------------
+    def route(self, path: str, methods: Sequence[str] = ("GET",)):
+        """FastAPI-style registration: ``@app.route("/jobs", methods=["POST"])``."""
+        def decorate(handler: Handler) -> Handler:
+            route = next((r for r in self._routes if r.path == path), None)
+            if route is None:
+                route = _Route(path)
+                self._routes.append(route)
+            for method in methods:
+                route.handlers[method.upper()] = handler
+            return handler
+        return decorate
+
+    def _match(self, path: str, method: str):
+        """``(handler, params) | (None, allowed-methods) | (None, None)``."""
+        allowed: List[str] = []
+        for route in self._routes:
+            matched = route.regex.match(path)
+            if not matched:
+                continue
+            handler = route.handlers.get(method)
+            if handler is not None:
+                return handler, matched.groupdict()
+            allowed.extend(route.handlers)
+        return None, (sorted(set(allowed)) or None)
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Request):
+        handler, extra = self._match(request.path, request.method)
+        if handler is None:
+            if extra:                   # path exists, method doesn't
+                return JSONResponse({"error": f"method {request.method} not "
+                                              f"allowed"},
+                                    status=405,
+                                    headers=[("allow", ", ".join(extra))])
+            return JSONResponse({"error": f"no such resource: {request.path}"},
+                                status=404)
+        request.path_params = extra
+        try:
+            outcome = handler(request)
+            if inspect.isawaitable(outcome):
+                outcome = await outcome
+            return outcome
+        except ValidationError as error:
+            return JSONResponse({"error": str(error)}, status=400)
+        except Exception as error:      # one bad request must not kill the app
+            return JSONResponse({"error": f"{type(error).__name__}: {error}"},
+                                status=500)
+
+    async def __call__(self, scope: Dict, receive, send) -> None:
+        """The ASGI 3 application interface."""
+        if scope["type"] == "lifespan":  # uvicorn probes this; accept politely
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+            return
+        if scope["type"] != "http":
+            return
+
+        body = b""
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                return
+            body += message.get("body", b"")
+            if not message.get("more_body"):
+                break
+
+        started = time.perf_counter()
+        request = Request(scope, body)
+        response = await self._dispatch(request)
+
+        if isinstance(response, EventStreamResponse):
+            await send({"type": "http.response.start",
+                        "status": response.status,
+                        "headers": [(k.encode(), v.encode())
+                                    for k, v in response.headers]})
+            async for frame in response.frames():
+                await send({"type": "http.response.body", "body": frame,
+                            "more_body": True})
+            await send({"type": "http.response.body", "body": b"",
+                        "more_body": False})
+            status = response.status
+        else:
+            await send({"type": "http.response.start",
+                        "status": response.status,
+                        "headers": [(k.encode(), v.encode())
+                                    for k, v in response.headers]})
+            await send({"type": "http.response.body", "body": response.body,
+                        "more_body": False})
+            status = response.status
+
+        if RECORDER.enabled:
+            RECORDER.count("service.requests")
+            RECORDER.count(f"service.responses.{status // 100}xx")
+            RECORDER.observe("service.request_seconds",
+                             time.perf_counter() - started)

@@ -1,0 +1,75 @@
+"""Per-client token-bucket rate limiting for the service API.
+
+Classic token bucket: each client holds up to ``burst`` tokens, refilled at
+``rate`` tokens per second; a request spends one token, and a client with an
+empty bucket is told how long to wait (the 429 response's ``Retry-After``).
+Clients are identified by the ``X-Client`` request header when present,
+falling back to the peer address -- good enough for fair-sharing a trusted
+deployment, not an auth system.
+
+Decisions are recorded in the process telemetry recorder
+(``service.requests.allowed`` / ``service.requests.rate_limited``), so the
+``/metrics`` endpoint exposes the limiter's behaviour to scrapers for free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+from repro.telemetry.recorder import RECORDER
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: int, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self.updated = now
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Spend one token; returns ``(allowed, retry_after_seconds)``."""
+        elapsed = max(now - self.updated, 0.0)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets per client id.  ``rate <= 0`` disables limiting."""
+
+    #: Soft cap on tracked clients; the stalest bucket is evicted past it
+    #: (an evicted client simply restarts with a full burst).
+    MAX_CLIENTS = 10_000
+
+    def __init__(self, rate: float = 10.0, burst: int = 20):
+        if rate > 0 and burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def check(self, client: str) -> Tuple[bool, float]:
+        """One request from ``client``: ``(allowed, retry_after_seconds)``."""
+        if self.rate <= 0:
+            return True, 0.0
+        now = time.monotonic()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self.MAX_CLIENTS:
+                stalest = min(self._buckets, key=lambda c: self._buckets[c].updated)
+                del self._buckets[stalest]
+            bucket = self._buckets[client] = TokenBucket(self.rate, self.burst, now)
+        allowed, retry_after = bucket.take(now)
+        if allowed:
+            RECORDER.count("service.requests.allowed")
+        else:
+            RECORDER.count("service.requests.rate_limited")
+        return allowed, retry_after

@@ -1,0 +1,297 @@
+"""A stdlib asyncio HTTP/1.1 server bridging sockets onto the ASGI app.
+
+This is the "no framework installed" serving path: ``asyncio.start_server``
+accepts connections, a small HTTP/1.1 parser turns each request into an
+ASGI scope, and the app's response events are written back -- complete
+responses get a Content-Length and keep the connection alive, streaming
+responses (the SSE endpoint) advertise ``Connection: close`` and write
+frames as they are produced.  It is deliberately minimal: no TLS, no
+chunked request bodies, no pipelining -- a front proxy owns those concerns
+in a real deployment.
+
+:func:`serve` picks the backend: the built-in server by default, or uvicorn
+when ``backend="uvicorn"`` is requested *and* importable -- requesting it
+without the package installed is an explicit error, never a silent
+fallback (the same dual-backend guard the warehouse uses for DuckDB).
+
+:class:`ServerThread` runs the whole stack (server + worker pool) on a
+dedicated event loop in a daemon thread -- what the tests and embedded
+callers use; the CLI's ``repro serve`` uses the blocking :func:`serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.log import get_logger
+
+_LOG = get_logger("service")
+
+#: Request start-line/header size cap (a sanity guard, not a security layer).
+_MAX_HEADER_BYTES = 64 * 1024
+#: Request body size cap: job submissions are small JSON documents.
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """An unparseable request; the connection is answered 400 and closed."""
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Dict]:
+    """One HTTP/1.1 request -> an ASGI-ish dict, or ``None`` at clean EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _BadRequest(f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    path, _, query = target.partition("?")
+
+    headers: List[Tuple[bytes, bytes]] = []
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise _BadRequest("header section too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        headers.append((name.strip().lower(), value.strip()))
+
+    header_map = {name: value for name, value in headers}
+    length_raw = header_map.get(b"content-length", b"0")
+    try:
+        length = int(length_raw)
+    except ValueError:
+        raise _BadRequest(f"bad Content-Length: {length_raw!r}")
+    if length > _MAX_BODY_BYTES:
+        raise _BadRequest("request body too large")
+    body = await reader.readexactly(length) if length else b""
+
+    return {
+        "method": method.upper(),
+        "path": path,
+        "query_string": query.encode("latin-1"),
+        "headers": headers,
+        "http_version": version.split("/", 1)[1],
+        "body": body,
+        "keep_alive": (version != "HTTP/1.0"
+                       and header_map.get(b"connection", b"").lower() != b"close"),
+    }
+
+
+async def _handle_connection(app, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    peer = writer.get_extra_info("peername") or ("unknown", 0)
+    try:
+        while True:
+            try:
+                parsed = await _read_request(reader)
+            except _BadRequest as error:
+                body = f"{error}\n".encode()
+                writer.write(b"HTTP/1.1 400 Bad Request\r\n"
+                             b"content-length: " + str(len(body)).encode() +
+                             b"\r\nconnection: close\r\n\r\n" + body)
+                await writer.drain()
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if parsed is None:
+                return
+
+            scope = {
+                "type": "http",
+                "asgi": {"version": "3.0"},
+                "http_version": parsed["http_version"],
+                "method": parsed["method"],
+                "path": parsed["path"],
+                "raw_path": parsed["path"].encode("latin-1"),
+                "query_string": parsed["query_string"],
+                "headers": parsed["headers"],
+                "client": (peer[0], peer[1]) if len(peer) >= 2 else None,
+                "server": None,
+                "scheme": "http",
+            }
+
+            keep_alive = parsed["keep_alive"]
+            state = {"started": False, "streaming": False,
+                     "status": 500, "headers": []}
+            body_sent = {"done": False}
+
+            async def receive():
+                if not body_sent["done"]:
+                    body_sent["done"] = True
+                    return {"type": "http.request", "body": parsed["body"],
+                            "more_body": False}
+                return {"type": "http.disconnect"}
+
+            async def send(event):
+                nonlocal keep_alive
+                if event["type"] == "http.response.start":
+                    state["status"] = event["status"]
+                    state["headers"] = list(event.get("headers") or ())
+                    return
+                if event["type"] != "http.response.body":
+                    return
+                chunk = event.get("body", b"")
+                more = bool(event.get("more_body"))
+                if not state["started"]:
+                    state["started"] = True
+                    state["streaming"] = more
+                    headers = list(state["headers"])
+                    if more:
+                        # Streaming: length unknown up front, so the end of
+                        # the response can only be signalled by closing.
+                        keep_alive = False
+                        headers.append((b"connection", b"close"))
+                    else:
+                        headers.append((b"content-length",
+                                        str(len(chunk)).encode()))
+                        headers.append((b"connection",
+                                        b"keep-alive" if keep_alive
+                                        else b"close"))
+                    status = state["status"]
+                    from repro.service.app import reason_phrase
+                    head = [f"HTTP/1.1 {status} {reason_phrase(status)}".encode()]
+                    head.extend(name + b": " + value
+                                for name, value in
+                                ((bytes(n), bytes(v)) for n, v in headers))
+                    writer.write(b"\r\n".join(head) + b"\r\n\r\n")
+                if chunk:
+                    writer.write(chunk)
+                await writer.drain()
+
+            try:
+                await app(scope, receive, send)
+            except (ConnectionError, BrokenPipeError):
+                return                 # client went away mid-response
+            if not keep_alive:
+                return
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+
+# ----------------------------------------------------------------------
+async def start_server(app, host: str = "127.0.0.1", port: int = 0):
+    """Bind the built-in server; returns the ``asyncio.Server`` handle."""
+    return await asyncio.start_server(
+        lambda reader, writer: _handle_connection(app, reader, writer),
+        host=host, port=port)
+
+
+def serve(app, host: str = "127.0.0.1", port: int = 8321,
+          backend: str = "stdlib",
+          startup: Optional[Callable[[], Awaitable[None]]] = None,
+          shutdown: Optional[Callable[[], Awaitable[None]]] = None) -> None:
+    """Serve ``app`` until interrupted (the blocking ``repro serve`` body).
+
+    ``backend="stdlib"`` (default) uses the built-in asyncio server;
+    ``backend="uvicorn"`` hands the same ASGI app to uvicorn when the
+    package is importable and raises a clear error when it is not.
+    ``startup``/``shutdown`` are awaited inside the event loop around the
+    serving phase (the worker pool's lifecycle hooks).
+    """
+    if backend == "uvicorn":
+        try:
+            import uvicorn
+        except ImportError:
+            raise RuntimeError(
+                "backend 'uvicorn' requested but the uvicorn package is not "
+                "installed; install it or use the default stdlib backend"
+            ) from None
+        uvicorn.run(app, host=host, port=port, log_level="warning")
+        return
+    if backend != "stdlib":
+        raise ValueError(f"unknown serve backend {backend!r} "
+                         f"(expected 'stdlib' or 'uvicorn')")
+
+    async def _main() -> None:
+        if startup is not None:
+            await startup()
+        server = await start_server(app, host=host, port=port)
+        bound = server.sockets[0].getsockname()
+        _LOG.info("service listening", host=bound[0], port=bound[1])
+        try:
+            async with server:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if shutdown is not None:
+                await shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        _LOG.info("service stopped")
+
+
+class ServerThread:
+    """The service stack on a dedicated event loop in a daemon thread.
+
+    ``start()`` blocks until the socket is bound and reports the actual
+    port (so callers may bind port 0); ``stop()`` cancels the serving task,
+    runs the shutdown hook and joins the thread.  Used by the tests and by
+    anything embedding the service next to other work.
+    """
+
+    def __init__(self, app,
+                 host: str = "127.0.0.1", port: int = 0,
+                 startup: Optional[Callable[[], Awaitable[None]]] = None,
+                 shutdown: Optional[Callable[[], Awaitable[None]]] = None):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._startup = startup
+        self._shutdown = shutdown
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stopping: Optional[asyncio.Event] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start in 30s")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        if self._startup is not None:
+            await self._startup()
+        server = await start_server(self.app, host=self.host, port=self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            if self._shutdown is not None:
+                await self._shutdown()
+
+    def stop(self) -> None:
+        if self.loop is not None and self._stopping is not None:
+            self.loop.call_soon_threadsafe(self._stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

@@ -72,10 +72,19 @@ def discover_journals(cache_dir: Optional[Union[str, Path]] = None,
     so `repro warehouse sync` with no flags tracks exactly what `repro
     campaign`/`repro scenario` wrote.
     """
-    cache_base = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
-    sink_base = Path(scenario_dir).expanduser() if scenario_dir else default_sink_dir()
-    telemetry_base = (Path(telemetry_dir).expanduser() if telemetry_dir
-                      else default_telemetry_dir())
+    def _absolute(base: Path) -> Path:
+        # Journals are tracked by absolute path (journal_id resolves); a
+        # CWD-relative base here would track different files than the
+        # writers -- which resolve their paths at creation time -- wrote.
+        return base if base.is_absolute() else Path.cwd() / base
+
+    cache_base = _absolute(
+        Path(cache_dir).expanduser() if cache_dir else default_cache_dir())
+    sink_base = _absolute(
+        Path(scenario_dir).expanduser() if scenario_dir else default_sink_dir())
+    telemetry_base = _absolute(
+        Path(telemetry_dir).expanduser() if telemetry_dir
+        else default_telemetry_dir())
     journals: List[JournalSpec] = [(cache_base / CACHE_FILE_NAME, KIND_CACHE)]
     if sink_base.is_dir():
         journals.extend((path, KIND_SINK)

@@ -45,6 +45,11 @@ def spec(**overrides) -> JobSpec:
     return JobSpec(**defaults)
 
 
+def _explode(job_spec):
+    """A stand-in for execute_job that dies inside the pool worker."""
+    raise RuntimeError("synthetic pool breakage")
+
+
 # ----------------------------------------------------------------------
 # specs and hashing
 # ----------------------------------------------------------------------
@@ -238,6 +243,29 @@ class TestResultCache:
         assert default_cache_dir() == tmp_path / "elsewhere"
         assert ResultCache().directory == tmp_path / "elsewhere"
 
+    def test_clear_rearms_tail_repair(self, tmp_path):
+        # clear() must forget that the (now deleted) journal's tail was
+        # checked: a journal recreated afterwards with a partial tail -- a
+        # killed writer from another process -- still needs repairing before
+        # this instance appends to it.
+        cache = ResultCache(tmp_path)
+        first, second = spec(local_size=2), spec(local_size=4)
+        cache.put(first, execute_job(first))
+        cache.clear()
+        cache.journal_path.write_text('{"hash": "partial"')   # no newline
+        cache.put(second, execute_job(second))
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.get(second) is not None
+
+    def test_clear_sweeps_orphaned_compaction_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec(local_size=4)
+        cache.put(job, execute_job(job))
+        orphan = tmp_path / f"{cache.journal_path.name}.12345.tmp"
+        orphan.write_text('{"hash": "stale"}\n')
+        cache.clear()
+        assert not orphan.exists()
+
 
 # ----------------------------------------------------------------------
 # the runner
@@ -317,6 +345,23 @@ class TestCampaignRunner:
         assert warm.stats.executed == 0                  # zero simulator invocations
         assert warm.stats.cache_hits == 4
         assert [r.cycles for r in warm.results] == [r.cycles for r in cold.results]
+
+    def test_pool_breakage_failures_carry_a_traceback(self, monkeypatch):
+        # When the pool itself breaks (worker crash, pickling failure) the
+        # synthesized JobFailure must still carry a formatted traceback, like
+        # an in-job failure would -- it is the only debugging artifact.
+        import repro.campaign.runner as runner_module
+
+        monkeypatch.setattr(runner_module, "execute_job", _explode)
+        campaign = Campaign("broken", specs=[spec(local_size=2),
+                                             spec(local_size=4)])
+        outcome = CampaignRunner(workers=2).run(campaign)
+        assert outcome.stats.failed == 2
+        for failure in outcome.results:
+            assert isinstance(failure, JobFailure)
+            assert "synthetic pool breakage" in failure.error
+            assert "RuntimeError" in failure.traceback
+            assert "Traceback" in failure.traceback
 
     def test_traced_jobs_bypass_cache_reads_but_seed_summaries(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -414,6 +459,28 @@ class TestStreamingJournal:
         streamed = {record["hash"]: record for record, _ in
                     ResultCache(tmp_path).iter_entries()}
         assert set(streamed) == {job.content_hash()}
+
+    def test_terminated_blank_lines_advance_the_offset(self, tmp_path):
+        # A blank (but newline-terminated) line carries no record, yet the
+        # iteration must still report the offset past it: consumers that
+        # persist the consumed offset (warehouse sync) would otherwise stall
+        # before trailing blank lines and re-read them on every pass.
+        from repro.campaign.journal import iter_journal_entries
+
+        cache = ResultCache(tmp_path)
+        job = spec(local_size=4)
+        cache.put(job, execute_job(job))
+        with cache.journal_path.open("a") as journal:
+            journal.write("\n\n")
+        size = cache.journal_path.stat().st_size
+
+        entries = list(iter_journal_entries(cache.journal_path))
+        assert [record is None for record, _ in entries] == [False, True, True]
+        assert entries[-1][1] == size
+        # complete_only (the warehouse ingest mode) consumes them too
+        guarded = list(iter_journal_entries(cache.journal_path,
+                                            complete_only=True))
+        assert guarded[-1][1] == size
 
     def test_complete_only_hides_an_unterminated_tail(self, tmp_path):
         from repro.campaign.journal import iter_journal_entries

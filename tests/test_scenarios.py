@@ -7,6 +7,7 @@ scenarios against the pre-refactor experiment drivers.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -168,6 +169,26 @@ class TestPlanner:
 # Sink: streaming, round-trip, kill-and-resume
 # ----------------------------------------------------------------------
 class TestSinkResume:
+    def test_sink_paths_survive_a_working_directory_change(self, tmp_path,
+                                                           monkeypatch):
+        # A daemon (the service) may chdir after opening its sinks; paths
+        # must be pinned to absolute at creation time, not at append time.
+        from repro.scenarios.sink import default_sink_dir
+
+        home = tmp_path / "home"
+        elsewhere = tmp_path / "elsewhere"
+        home.mkdir()
+        elsewhere.mkdir()
+        monkeypatch.chdir(home)
+        assert default_sink_dir().is_absolute()
+        assert default_sink_dir() == home / "scenario-runs"
+        sink = ResultSink(Path("runs") / "tiny.jsonl")
+        assert sink.path == home / "runs" / "tiny.jsonl"
+        monkeypatch.chdir(elsewhere)
+        Planner().run(tiny_scenario(), SMOKE, sink=sink)
+        assert (home / "runs" / "tiny.jsonl").exists()
+        assert not (elsewhere / "runs").exists()
+
     def test_sink_record_round_trips(self, tmp_path):
         scenario = tiny_scenario()
         sink = ResultSink(tmp_path / "tiny.jsonl")

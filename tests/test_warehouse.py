@@ -181,6 +181,32 @@ class TestSync:
         assert not report.journals[0].resynced
         assert dump(store) == before
 
+    def test_discover_journals_reports_absolute_paths(self, tmp_path,
+                                                      monkeypatch):
+        from repro.warehouse.ingest import discover_journals
+
+        monkeypatch.chdir(tmp_path)
+        for path, _ in discover_journals(cache_dir="cache-rel",
+                                         scenario_dir="sinks-rel",
+                                         telemetry_dir="tele-rel"):
+            assert path.is_absolute()
+            assert str(path).startswith(str(tmp_path))
+
+    def test_trailing_blank_lines_do_not_stall_the_offset(self, store,
+                                                          cache_journal):
+        # Blank lines at the journal tail must be consumed, not skipped:
+        # a stalled offset would make every later sync re-hash and re-read
+        # the same tail forever.
+        with cache_journal.open("a") as journal:
+            journal.write("\n\n")
+        journals = [(cache_journal, KIND_CACHE)]
+        first = sync(store, journals=journals)
+        assert first.journals[0].offset == cache_journal.stat().st_size
+        second = sync(store, journals=journals)
+        assert second.ingested == 0
+        assert not second.journals[0].resynced
+        assert second.journals[0].offset == first.journals[0].offset
+
     def test_appends_are_ingested_incrementally(self, store, cache_journal):
         journals = [(cache_journal, KIND_CACHE)]
         first = sync(store, journals=journals)
