@@ -10,10 +10,14 @@ The campaign subsystem sits between the experiment layer and the simulator:
   ``~/.cache/repro``, override with ``REPRO_CACHE_DIR``), with hit/miss
   accounting and automatic invalidation on simulator-version bumps.
 * :mod:`~repro.campaign.worker` -- the picklable per-job execution function.
+* :mod:`~repro.campaign.executor` -- the :class:`Executor` protocol behind
+  the runner: :class:`LocalExecutor` (in-process or a persistent process
+  pool) here, a multi-host :class:`DistributedExecutor` in
+  :mod:`~repro.campaign.dist`.
 * :mod:`~repro.campaign.runner` -- :class:`CampaignRunner` resolves specs
-  against the cache, deduplicates identical points, fans the rest out across
-  worker processes, and returns outcomes in deterministic submission order
-  with per-job failure isolation.
+  against the cache, deduplicates identical points, fans the rest out
+  through an executor, and returns outcomes in deterministic submission
+  order with per-job failure isolation.
 
 Quick start::
 
@@ -35,6 +39,12 @@ from repro.campaign.cache import (
     CacheStats,
     ResultCache,
     default_cache_dir,
+)
+from repro.campaign.executor import (
+    Executor,
+    ExecutorCompletion,
+    ExecutorTask,
+    LocalExecutor,
 )
 from repro.campaign.result import JobFailure, JobResult
 from repro.campaign.runner import (
@@ -61,7 +71,11 @@ __all__ = [
     "CampaignError",
     "CampaignOutcome",
     "CampaignRunner",
+    "Executor",
+    "ExecutorCompletion",
+    "ExecutorTask",
     "JobFailure",
+    "LocalExecutor",
     "JobResult",
     "ResultCache",
     "RunStats",

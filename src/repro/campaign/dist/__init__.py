@@ -1,0 +1,47 @@
+"""Distributed campaign execution: coordinator, workers, shared cache.
+
+The package generalises the campaign engine across hosts while keeping
+every guarantee of the local path -- submission order, dedup, failure
+isolation, and bit-identical results:
+
+* :mod:`~repro.campaign.dist.protocol` -- length-prefixed JSON frames over
+  TCP (stdlib sockets; no framework).
+* :mod:`~repro.campaign.dist.coordinator` -- :class:`DistributedExecutor`,
+  a work-stealing implementation of the
+  :class:`~repro.campaign.executor.Executor` protocol with heartbeat
+  liveness and bounded retry on worker death.
+* :mod:`~repro.campaign.dist.cache_server` -- the existing
+  :class:`~repro.campaign.cache.ResultCache` served over the same
+  transport, so the fleet shares one memoization namespace.
+* :mod:`~repro.campaign.dist.worker` -- :func:`run_worker`, the whole
+  lifecycle of one ``repro worker`` process.
+
+Quick start (three shells)::
+
+    repro campaign run --grid figure2 --executor dist --listen 0.0.0.0:7070
+    repro worker --connect coordinator-host:7070      # as many as you like
+    repro worker --connect coordinator-host:7070
+"""
+
+from repro.campaign.dist.cache_server import CacheClient, CacheServer
+from repro.campaign.dist.coordinator import DistributedExecutor
+from repro.campaign.dist.protocol import (
+    Connection,
+    ProtocolError,
+    connect,
+    format_address,
+    parse_address,
+)
+from repro.campaign.dist.worker import run_worker
+
+__all__ = [
+    "CacheClient",
+    "CacheServer",
+    "Connection",
+    "DistributedExecutor",
+    "ProtocolError",
+    "connect",
+    "format_address",
+    "parse_address",
+    "run_worker",
+]

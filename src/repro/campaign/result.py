@@ -116,12 +116,21 @@ class JobResult:
 
 @dataclass(frozen=True)
 class JobFailure:
-    """One job's captured exception (the campaign itself keeps running)."""
+    """One job's captured exception (the campaign itself keeps running).
+
+    ``host`` and ``last_heartbeat`` locate failures that were *inflicted* on a
+    job rather than raised by it: a broken process pool or a distributed
+    worker that died mid-chunk reports where the job was running and when
+    that worker was last known alive (Unix wall-clock seconds).  Jobs that
+    fail by raising leave both fields empty.
+    """
 
     job_hash: str
     label: str
     error: str
     traceback: str = ""
+    host: str = ""                        # where the job was running, if known
+    last_heartbeat: Optional[float] = None  # worker's last sign of life (wall)
     telemetry: Optional[Dict] = None      # worker recorder payload; in-memory only
 
     @property
@@ -130,4 +139,30 @@ class JobFailure:
 
     def summary(self) -> str:
         """One-line rendering for progress output and reports."""
-        return f"{self.label}: FAILED ({self.error})"
+        where = f" [on {self.host}]" if self.host else ""
+        return f"{self.label}: FAILED ({self.error}){where}"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to plain JSON types (telemetry travels separately)."""
+        return {
+            "job_hash": self.job_hash,
+            "label": self.label,
+            "error": self.error,
+            "traceback": self.traceback,
+            "host": self.host,
+            "last_heartbeat": self.last_heartbeat,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobFailure":
+        """Inverse of :meth:`to_dict`."""
+        heartbeat = data.get("last_heartbeat")
+        return cls(
+            job_hash=str(data["job_hash"]),
+            label=str(data["label"]),
+            error=str(data["error"]),
+            traceback=str(data.get("traceback", "")),
+            host=str(data.get("host", "")),
+            last_heartbeat=None if heartbeat is None else float(heartbeat),
+        )

@@ -1,16 +1,21 @@
-"""Campaign execution: cache-first, then fan out across worker processes.
+"""Campaign execution: cache-first, then fan out through an executor.
 
 The :class:`CampaignRunner` takes a :class:`~repro.campaign.spec.Campaign`
 and produces one outcome per submitted spec, **in submission order**, no
 matter how many workers raced to produce them:
 
-1. every spec is first resolved against the :class:`ResultCache` (traced jobs
-   are always executed -- the cache stores summaries, not event logs);
+1. every spec is first resolved against the :class:`ResultCache` -- one
+   batched :meth:`~repro.campaign.cache.ResultCache.get_many` pass for the
+   whole campaign (traced jobs are always executed -- the cache stores
+   summaries, not event logs);
 2. the remaining specs are deduplicated by content hash, so a point submitted
    five times in one campaign is simulated once;
-3. distinct points are executed -- in-process for ``workers <= 1``, in a
-   ``ProcessPoolExecutor`` otherwise -- and every fresh result is written back
-   to the cache;
+3. distinct points are handed to the runner's
+   :class:`~repro.campaign.executor.Executor` -- in-process or a persistent
+   process pool (:class:`~repro.campaign.executor.LocalExecutor`, the
+   default) or a multi-host fleet
+   (:class:`~repro.campaign.dist.coordinator.DistributedExecutor`) -- and
+   every fresh result is written back to the cache;
 4. a job that raises becomes a :class:`~repro.campaign.result.JobFailure`
    slotted at its submission index; the rest of the campaign completes.
 
@@ -21,18 +26,15 @@ completion for simulated jobs.
 
 from __future__ import annotations
 
-import multiprocessing
-import sys
 import time
-import traceback as traceback_module
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.cache import ResultCache
+from repro.campaign.executor import Executor, ExecutorTask, LocalExecutor
 from repro.campaign.result import JobFailure, JobResult
 from repro.campaign.spec import Campaign, JobSpec
-from repro.campaign.worker import execute_job
+from repro.sim.engine import resolve_engine
 from repro.telemetry.recorder import RECORDER
 
 #: ``progress(index, total, spec, outcome)``; outcome is a result or failure.
@@ -98,49 +100,85 @@ class CampaignOutcome:
 
 
 class CampaignRunner:
-    """Runs campaigns with a result cache and an optional process pool.
+    """Runs campaigns with a result cache and a pluggable executor.
 
     Parameters
     ----------
     workers:
-        Maximum concurrent simulations.  ``1`` (the default) executes
-        in-process -- fully deterministic, no pickling round trip.
+        Maximum concurrent simulations for the default
+        :class:`~repro.campaign.executor.LocalExecutor`.  ``1`` (the
+        default) executes in-process -- fully deterministic, no pickling
+        round trip.  Ignored when ``executor`` is given.
     cache:
         A :class:`ResultCache`, or ``None`` to disable persistence (every
         point is simulated fresh; in-run deduplication still applies).
     mp_context:
-        Multiprocessing context for the pool; defaults to ``fork`` where
-        available (workers inherit the imported simulator for free).
+        Multiprocessing context for the local pool; defaults to ``fork``
+        where available.  Ignored when ``executor`` is given.
+    executor:
+        An explicit :class:`~repro.campaign.executor.Executor` -- e.g. a
+        :class:`~repro.campaign.dist.coordinator.DistributedExecutor`
+        fanning out to a fleet.  The caller keeps ownership (the runner's
+        :meth:`close` only shuts down executors it created itself).
     """
 
     def __init__(self, workers: int = 1, cache: Optional[ResultCache] = None,
-                 mp_context=None):
+                 mp_context=None, executor: Optional[Executor] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache = cache
         self._mp_context = mp_context
+        self._owns_executor = executor is None
+        self.executor: Executor = (
+            executor if executor is not None
+            else LocalExecutor(workers=workers, mp_context=mp_context))
 
     def without_cache(self) -> "CampaignRunner":
-        """This runner, minus the result cache (same workers and context).
+        """This runner, minus the result cache (same executor, shared).
 
         Used by callers whose measurement is wall-clock time -- a cache-served
         point would time nothing -- e.g. the ``engine-compare`` scenario.
+        The clone borrows this runner's executor (so a warm pool or a
+        connected fleet is reused); closing the clone never shuts it down.
         """
         if self.cache is None:
             return self
-        return CampaignRunner(workers=self.workers, cache=None,
-                              mp_context=self._mp_context)
+        clone = CampaignRunner(workers=self.workers, cache=None,
+                               mp_context=self._mp_context,
+                               executor=self.executor)
+        return clone
+
+    def close(self) -> None:
+        """Shut down the executor, if this runner created it.  Idempotent."""
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(self, campaign: Union[Campaign, Iterable[JobSpec]],
-            progress: Optional[ProgressCallback] = None) -> CampaignOutcome:
-        """Execute every spec; see the module docstring for the pipeline."""
+            progress: Optional[ProgressCallback] = None,
+            engine: Optional[str] = None) -> CampaignOutcome:
+        """Execute every spec; see the module docstring for the pipeline.
+
+        ``engine`` pins every job of this call to one simulation engine
+        (validated here, applied around each job wherever it runs); ``None``
+        keeps the environment default.  Passing it per call -- rather than
+        mutating ``$REPRO_ENGINE`` around the call -- is what lets one warm
+        executor serve a planner's mixed-engine shards back to back.
+        """
         if not isinstance(campaign, Campaign):
             campaign = Campaign(name="adhoc", specs=list(campaign))
+        if engine is not None:
+            engine = resolve_engine(engine)
         with RECORDER.span("campaign.run", campaign=campaign.name,
                            jobs=len(campaign.specs)):
-            outcome = self._execute(campaign, progress)
+            outcome = self._execute(campaign, progress, engine)
         if RECORDER.enabled:
             RECORDER.count("campaign.runs")
             RECORDER.count("campaign.jobs.deduplicated",
@@ -151,28 +189,39 @@ class CampaignRunner:
         return outcome
 
     def _execute(self, campaign: Campaign,
-                 progress: Optional[ProgressCallback]) -> CampaignOutcome:
+                 progress: Optional[ProgressCallback],
+                 engine: Optional[str]) -> CampaignOutcome:
         specs = list(campaign.specs)
         total = len(specs)
         started = time.perf_counter()
         results: List[Optional[Outcome]] = [None] * total
 
-        # 1. cache resolution, in submission order.  Cache hits record a
-        # synthetic job.cache_hit span: the lookup IS the job's execution.
+        # 1. cache resolution, in submission order: one batched get_many pass
+        # for every untraced spec.  Each hit still records a synthetic
+        # job.cache_hit span (the lookup IS the job's execution), timed as
+        # its share of the batch.
         cache_hits = 0
         pending: List[int] = []
-        for index, spec in enumerate(specs):
-            if self.cache is not None and not spec.collect_trace:
-                lookup_wall = time.time()
-                lookup_perf = time.perf_counter() if RECORDER.enabled else 0.0
-                cached = self.cache.get(spec)
-                if cached is not None and RECORDER.enabled:
+        lookups = [index for index, spec in enumerate(specs)
+                   if self.cache is not None and not spec.collect_trace]
+        resolved: Dict[int, JobResult] = {}
+        if lookups:
+            lookup_wall = time.time()
+            lookup_perf = time.perf_counter() if RECORDER.enabled else 0.0
+            found = self.cache.get_many([specs[index] for index in lookups])
+            share = ((time.perf_counter() - lookup_perf) / len(lookups)
+                     if RECORDER.enabled else 0.0)
+            for index, cached in zip(lookups, found):
+                if cached is None:
+                    continue
+                resolved[index] = cached
+                if RECORDER.enabled:
                     RECORDER.record_span(
-                        "job.cache_hit", lookup_wall,
-                        time.perf_counter() - lookup_perf,
-                        job_hash=spec.content_hash(), problem=spec.problem)
-            else:
-                cached = None
+                        "job.cache_hit", lookup_wall, share,
+                        job_hash=specs[index].content_hash(),
+                        problem=specs[index].problem)
+        for index, spec in enumerate(specs):
+            cached = resolved.get(index)
             if cached is not None:
                 results[index] = cached
                 cache_hits += 1
@@ -190,12 +239,12 @@ class CampaignRunner:
             groups.setdefault(key, []).append(index)
         group_indices = list(groups.values())
 
-        # 3. execute each group's first spec, fan the outcome back out.  Note
-        # that traced jobs DO write their summaries back (the journal stores
-        # to_dict(), which drops the event log) -- they only skip cache reads.
-        # A worker's telemetry payload is merged into this process's recorder
-        # here and stripped from the outcome, so cached/fanned-out results are
-        # byte-identical to a telemetry-off run.
+        # 3. execute each group's first spec through the executor, fan the
+        # outcome back out.  Note that traced jobs DO write their summaries
+        # back (the journal stores to_dict(), which drops the event log) --
+        # they only skip cache reads.  A worker's telemetry payload is merged
+        # into this process's recorder here and stripped from the outcome, so
+        # cached/fanned-out results are byte-identical to a telemetry-off run.
         def finish(indices: Sequence[int], outcome: Outcome,
                    submitted_wall: Optional[float] = None) -> None:
             payload = getattr(outcome, "telemetry", None)
@@ -214,12 +263,13 @@ class CampaignRunner:
                 if progress is not None:
                     progress(index, total, specs[index], outcome)
 
-        if self.workers <= 1 or len(group_indices) <= 1:
-            for indices in group_indices:
-                submitted_wall = time.time()
-                finish(indices, execute_job(specs[indices[0]]), submitted_wall)
-        else:
-            self._run_pool(specs, group_indices, finish)
+        if group_indices:
+            tasks = [ExecutorTask(index=slot, spec=specs[indices[0]],
+                                  engine=engine)
+                     for slot, indices in enumerate(group_indices)]
+            for completion in self.executor.execute(tasks):
+                finish(group_indices[completion.index], completion.outcome,
+                       completion.submitted_wall)
 
         final: List[Outcome] = [r for r in results if r is not None]
         assert len(final) == total, "every submitted job must produce an outcome"
@@ -235,40 +285,3 @@ class CampaignRunner:
         )
         return CampaignOutcome(name=campaign.name, specs=specs,
                                results=final, stats=stats)
-
-    # ------------------------------------------------------------------
-    def _run_pool(self, specs: Sequence[JobSpec],
-                  group_indices: Sequence[Sequence[int]],
-                  finish: Callable[..., None]) -> None:
-        """Fan distinct points out across a process pool."""
-        context = self._mp_context
-        if context is None:
-            # fork is only safe where it is the platform default (Linux);
-            # macOS lists it but forking past Objective-C/numpy state aborts.
-            prefer_fork = (sys.platform.startswith("linux")
-                           and "fork" in multiprocessing.get_all_start_methods())
-            context = multiprocessing.get_context("fork" if prefer_fork else None)
-        max_workers = min(self.workers, len(group_indices))
-        with ProcessPoolExecutor(max_workers=max_workers,
-                                 mp_context=context) as pool:
-            submitted = time.time()
-            futures = {
-                pool.submit(execute_job, specs[indices[0]]): indices
-                for indices in group_indices
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    indices = futures[future]
-                    try:
-                        outcome: Outcome = future.result()
-                    except Exception as error:  # pool/pickling breakage
-                        outcome = JobFailure(
-                            job_hash=specs[indices[0]].content_hash(),
-                            label=specs[indices[0]].display_name(),
-                            error=f"{type(error).__name__}: {error}",
-                            traceback="".join(traceback_module.format_exception(
-                                type(error), error, error.__traceback__)),
-                        )
-                    finish(indices, outcome, submitted)

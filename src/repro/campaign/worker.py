@@ -20,13 +20,15 @@ shared between processes.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from dataclasses import replace
-from typing import Union
+from typing import Optional, Union
 
 from repro.campaign.result import JobFailure, JobResult
 from repro.campaign.spec import JobSpec
+from repro.sim.engine import ENGINE_ENV
 from repro.telemetry.recorder import RECORDER
 
 
@@ -72,8 +74,27 @@ def run_spec(spec: JobSpec) -> JobResult:
     )
 
 
-def execute_job(spec: JobSpec) -> Union[JobResult, JobFailure]:
-    """Run one spec, converting any exception into a :class:`JobFailure`."""
+def execute_job(spec: JobSpec,
+                engine: Optional[str] = None) -> Union[JobResult, JobFailure]:
+    """Run one spec, converting any exception into a :class:`JobFailure`.
+
+    ``engine`` pins ``$REPRO_ENGINE`` around this one execution (restored
+    afterwards), so a single long-lived worker -- a persistent process-pool
+    worker or a fleet worker -- can serve mixed-engine shards without each
+    shard needing its own pool.  An unknown engine name becomes a
+    :class:`JobFailure` like any other job error (the Device constructor
+    validates it); ``None`` keeps whatever the environment already says.
+    """
+    if engine is not None:
+        previous = os.environ.get(ENGINE_ENV)
+        os.environ[ENGINE_ENV] = engine
+        try:
+            return execute_job(spec)
+        finally:
+            if previous is None:
+                os.environ.pop(ENGINE_ENV, None)
+            else:
+                os.environ[ENGINE_ENV] = previous
     if not RECORDER.enabled:
         try:
             return run_spec(spec)

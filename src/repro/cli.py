@@ -161,6 +161,34 @@ def _grid_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _executor_options() -> argparse.ArgumentParser:
+    """The distributed-execution flags shared by every run command.
+
+    ``--executor local`` (the default) keeps the single-host process pool;
+    ``--executor dist`` starts a work-stealing coordinator in this process
+    and executes on whatever ``repro worker`` processes join it.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--executor", choices=("local", "dist"),
+                        default="local",
+                        help="where jobs execute: this host's process pool "
+                             "(local, default) or a distributed worker fleet "
+                             "(dist)")
+    parent.add_argument("--listen", default="127.0.0.1:0",
+                        help="with --executor dist: coordinator bind address "
+                             "as HOST:PORT (default 127.0.0.1:0 -- a free "
+                             "port, logged at startup)")
+    parent.add_argument("--dist-workers", type=int, default=0, metavar="N",
+                        help="with --executor dist: also spawn N worker "
+                             "processes on this host (default 0 -- workers "
+                             "join via `repro worker --connect`)")
+    parent.add_argument("--wait-workers", type=int, default=None, metavar="N",
+                        help="with --executor dist: block until N workers "
+                             "have joined before running (default: the "
+                             "--dist-workers count)")
+    return parent
+
+
 def _cache_options(no_cache: bool = True) -> argparse.ArgumentParser:
     """The result-cache flags shared by ``campaign`` and ``scenario`` commands."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -197,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     grid = _grid_options()
     cache = _cache_options()
+    executor = _executor_options()
 
     info = sub.add_parser("info", help="describe a machine and the Eq.-1 mapping for a launch")
     info.add_argument("--config", default="4c8w8t", help="machine shape, e.g. 4c8w8t")
@@ -239,7 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
     crun = campaign_sub.add_parser(
-        "run", parents=[grid, cache],
+        "run", parents=[grid, cache, executor],
         help="run a Figure-2 style sweep as a campaign (alias of the "
              "'figure2' scenario)")
     crun.add_argument("--workers", type=int, default=1,
@@ -287,7 +316,8 @@ def build_parser() -> argparse.ArgumentParser:
     for verb, help_text in (
             ("run", "execute a scenario (resumes from its sink unless --fresh)"),
             ("resume", "continue an interrupted scenario run from its sink")):
-        sparser = scenario_sub.add_parser(verb, parents=[grid, cache], help=help_text)
+        sparser = scenario_sub.add_parser(verb, parents=[grid, cache, executor],
+                                          help=help_text)
         sparser.set_defaults(kernels=None, sweep=None, scale=None)
         sparser.add_argument("name", help="registered scenario name (see 'scenario list')")
         sparser.add_argument("--workers", type=int, default=1,
@@ -460,6 +490,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", choices=("stdlib", "uvicorn"),
                        default="stdlib",
                        help="HTTP serving backend (uvicorn only if installed)")
+    serve.add_argument("--executor", choices=("local", "dist"),
+                       default="local",
+                       help="where jobs execute: per-job process pools "
+                            "(local, default) or a distributed worker fleet "
+                            "shared by every API job (dist)")
+    serve.add_argument("--listen", default="127.0.0.1:0",
+                       help="with --executor dist: coordinator bind address "
+                            "as HOST:PORT for `repro worker --connect` "
+                            "(default 127.0.0.1:0)")
+    serve.add_argument("--dist-workers", type=int, default=0, metavar="N",
+                       help="with --executor dist: also spawn N worker "
+                            "processes on this host")
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a distributed campaign fleet",
+        description="Connect to a coordinator started with `repro campaign "
+                    "run --executor dist --listen HOST:PORT` (or scenario "
+                    "run / serve) and execute whatever chunks it serves: "
+                    "pull-based stealing, shared result cache, heartbeat "
+                    "liveness.  The process exits when the coordinator "
+                    "shuts the fleet down.",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's --listen address")
+    worker.add_argument("--max-tasks", type=int, default=None,
+                        help="fault-injection: silently drop the connection "
+                             "after simulating this many jobs (emulates a "
+                             "SIGKILLed worker; used by the chaos tests)")
     return parser
 
 
@@ -620,14 +679,50 @@ def _cmd_campaign(args) -> int:
 
     # campaign run
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = CampaignRunner(workers=args.workers, cache=cache)
-    result = _run_and_render_sweep(args, runner=runner, claims=args.claims)
+    dist_executor = _make_executor(args, cache)
+    runner = CampaignRunner(workers=args.workers, cache=cache,
+                            executor=dist_executor)
+    try:
+        result = _run_and_render_sweep(args, runner=runner, claims=args.claims)
+    finally:
+        runner.close()
+        if dist_executor is not None:
+            dist_executor.close()
     if cache is not None:
         stats = cache.stats()
         _LOG.info(f"cache {stats.path}: {stats.hits} hit(s), "
                   f"{stats.misses} miss(es), {stats.entries} entries")
     _save_sweep_output(result, args.output)
     return 0
+
+
+def _make_executor(args, cache):
+    """The ``--executor dist`` coordinator, or ``None`` for the local path.
+
+    Starts the coordinator (and its cache server, when caching) on
+    ``--listen``, optionally spawns ``--dist-workers`` local worker
+    processes, and blocks for ``--wait-workers`` joins so the run starts
+    against a known fleet.  The caller owns the returned executor and must
+    ``close()`` it.
+    """
+    if getattr(args, "executor", "local") != "dist":
+        return None
+    from repro.campaign.dist import DistributedExecutor, format_address, parse_address
+
+    host, port = parse_address(args.listen)
+    dist_executor = DistributedExecutor(host=host, port=port, cache=cache)
+    _LOG.info("distributed coordinator listening",
+              listen=format_address(dist_executor.address),
+              cache=(format_address(dist_executor.cache_server.address)
+                     if dist_executor.cache_server is not None else "off"))
+    if args.dist_workers:
+        dist_executor.spawn_local_workers(args.dist_workers)
+    expected = (args.wait_workers if args.wait_workers is not None
+                else args.dist_workers)
+    if expected:
+        dist_executor.wait_for_workers(expected)
+        _LOG.info("worker fleet ready", workers=dist_executor.worker_count)
+    return dist_executor
 
 
 # ----------------------------------------------------------------------
@@ -780,7 +875,9 @@ def _cmd_scenario(args) -> int:
     # skip even loading its journal.
     use_cache = scenario.cacheable and not args.no_cache
     cache = ResultCache(args.cache_dir) if use_cache else None
-    runner = CampaignRunner(workers=args.workers, cache=cache)
+    dist_executor = _make_executor(args, cache)
+    runner = CampaignRunner(workers=args.workers, cache=cache,
+                            executor=dist_executor)
     planner = Planner(runner=runner)
     fresh = bool(getattr(args, "fresh", False))
     reporter = _progress_reporter(args, scenario.name)
@@ -793,6 +890,9 @@ def _cmd_scenario(args) -> int:
     finally:
         if reporter is not None:
             reporter.finish()
+        runner.close()
+        if dist_executor is not None:
+            dist_executor.close()
     _LOG.info(f"scenario {scenario.name!r} ({scale}): {run.stats.render()}")
     _LOG.info(f"sink: {sink.path}")
     print(run.report())
@@ -845,8 +945,15 @@ def _cmd_serve(args) -> int:
         sim_workers=args.sim_workers,
         rate=args.rate,
         burst=args.burst,
+        executor=args.executor,
+        listen=args.listen,
+        dist_workers=args.dist_workers,
     )
     service = Service(config)
+    if service.executor is not None:
+        from repro.campaign.dist import format_address
+        _LOG.info("distributed coordinator listening",
+                  listen=format_address(service.executor.address))
     _LOG.info("service starting", host=args.host, port=args.port,
               queue=str(service.queue.path),
               cache=(str(service.cache.directory)
@@ -855,6 +962,20 @@ def _cmd_serve(args) -> int:
     run_server(service.app, host=args.host, port=args.port,
                backend=args.backend,
                startup=service.startup, shutdown=service.shutdown)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    # Deferred import, like the service: only this command needs the fleet
+    # client, and a worker should start fast.
+    from repro.campaign.dist import run_worker
+
+    try:
+        executed = run_worker(args.connect, max_tasks=args.max_tasks)
+    except OSError as error:
+        _LOG.error(f"error: cannot reach coordinator at {args.connect}: {error}")
+        return 1
+    _LOG.info("worker exiting", executed=executed)
     return 0
 
 
@@ -869,6 +990,7 @@ _COMMANDS = {
     "warehouse": _cmd_warehouse,
     "telemetry": _cmd_telemetry,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
 }
 
 

@@ -24,7 +24,6 @@ failed points.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -41,7 +40,6 @@ from repro.scenarios.spec import (
     Scenario,
     ScenarioContext,
 )
-from repro.sim.engine import ENGINE_ENV, resolve_engine
 from repro.telemetry.recorder import RECORDER
 from repro.workloads.problems import problem_global_size
 
@@ -287,8 +285,11 @@ class Planner:
                         if progress is not None:
                             progress(completed[0], total_pending, outcome)
 
-                with _pinned_engine(engine):
-                    runner.run(campaign, progress=on_job)
+                # The engine rides the runner call (pinned per job wherever
+                # it executes), so the runner's executor -- and its warm
+                # process pool or connected fleet -- survives across
+                # engine-grouped shards instead of being rebuilt per shard.
+                runner.run(campaign, progress=on_job, engine=engine)
 
         executed = total_pending - len(failures)
         stats = PlanStats(
@@ -368,12 +369,12 @@ class Planner:
         """Yield ``(engine, jobs)`` shards: engine groups, optionally chunked.
 
         Grouping by engine keeps each campaign-runner call homogeneous (the
-        engine is pinned through the environment for the whole call, worker
-        processes included).  With the default ``shard_size=None`` each
-        engine group is one shard -- the worker pool is built once per group
-        and the per-job progress hook already streams the sink; an explicit
-        ``shard_size`` additionally bounds how much work a single
-        campaign-runner call owns.
+        engine is passed per call and pinned around every job, wherever it
+        executes).  With the default ``shard_size=None`` each engine group
+        is one shard; the runner's executor -- and its warm worker pool --
+        is shared across all of a submission's shards, and the per-job
+        progress hook already streams the sink.  An explicit ``shard_size``
+        additionally bounds how much work a single campaign-runner call owns.
         """
         groups: Dict[Optional[str], List[PlannedJob]] = {}
         order: List[Optional[str]] = []
@@ -389,23 +390,3 @@ class Planner:
                 yield engine, jobs[start:start + max(chunk, 1)]
 
 
-class _pinned_engine:
-    """Context manager pinning ``REPRO_ENGINE`` for one shard (or a no-op)."""
-
-    def __init__(self, engine: Optional[str]):
-        self.engine = None if engine is None else resolve_engine(engine)
-        self._previous: Optional[str] = None
-
-    def __enter__(self):
-        if self.engine is not None:
-            self._previous = os.environ.get(ENGINE_ENV)
-            os.environ[ENGINE_ENV] = self.engine
-        return self
-
-    def __exit__(self, *exc_info):
-        if self.engine is not None:
-            if self._previous is None:
-                os.environ.pop(ENGINE_ENV, None)
-            else:
-                os.environ[ENGINE_ENV] = self._previous
-        return False

@@ -48,7 +48,10 @@ class ServiceConfig:
                  workers: int = 2,
                  sim_workers: int = 1,
                  rate: float = 10.0,
-                 burst: int = 20):
+                 burst: int = 20,
+                 executor: str = "local",
+                 listen: str = "127.0.0.1:0",
+                 dist_workers: int = 0):
         self.queue_dir = Path(queue_dir) if queue_dir else default_service_dir()
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.use_cache = use_cache
@@ -56,6 +59,9 @@ class ServiceConfig:
         self.sim_workers = sim_workers
         self.rate = rate
         self.burst = burst
+        self.executor = executor          # "local" or "dist"
+        self.listen = listen              # coordinator bind, with "dist"
+        self.dist_workers = dist_workers  # local fleet processes to spawn
 
 
 class Service:
@@ -69,11 +75,25 @@ class Service:
         self.limiter = RateLimiter(rate=self.config.rate,
                                    burst=self.config.burst)
         self.events = EventBook()
+        # The distributed backend: one coordinator (and one shared cache
+        # server over the service's ResultCache) for the whole service --
+        # every API job's campaign executes on the same worker fleet.
+        self.executor = None
+        if self.config.executor == "dist":
+            from repro.campaign.dist import DistributedExecutor
+            from repro.campaign.dist.protocol import parse_address
+
+            host, port = parse_address(self.config.listen)
+            self.executor = DistributedExecutor(host=host, port=port,
+                                                cache=self.cache)
+            if self.config.dist_workers:
+                self.executor.spawn_local_workers(self.config.dist_workers)
         self.pool = WorkerPool(
             self.queue, self.events,
             workers=self.config.workers,
             sim_workers=self.config.sim_workers,
-            cache=self.cache)
+            cache=self.cache,
+            executor=self.executor)
         self.app = create_app(self)
 
     async def startup(self) -> None:
@@ -82,6 +102,8 @@ class Service:
 
     async def shutdown(self) -> None:
         await self.pool.stop()
+        if self.executor is not None:
+            self.executor.close()
 
 
 def create_app(service: Service) -> App:

@@ -120,7 +120,8 @@ class WorkerPool:
                  events: EventBook,
                  workers: int = 2,
                  sim_workers: int = 1,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 executor=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.queue = queue
@@ -128,6 +129,10 @@ class WorkerPool:
         self.workers = workers
         self.sim_workers = sim_workers
         self.cache = cache
+        # A shared Executor (the service's distributed fleet); None keeps
+        # the per-job local pool.  The pool never closes it -- the Service
+        # owns its lifecycle.
+        self.executor = executor
         self._tasks: List[asyncio.Task] = []
         self._kick: Optional[asyncio.Event] = None
         self._stopping = False
@@ -190,7 +195,8 @@ class WorkerPool:
     def _execute_sync(self, job: Job) -> Dict[str, object]:
         """Run one job to completion (simulation thread; blocking is fine)."""
         request = job.request
-        runner = CampaignRunner(workers=self.sim_workers, cache=self.cache)
+        runner = CampaignRunner(workers=self.sim_workers, cache=self.cache,
+                                executor=self.executor)
 
         def on_progress(done: int, total: int, label: str, ok: bool) -> None:
             self.events.publish_threadsafe(
@@ -198,9 +204,12 @@ class WorkerPool:
                 {"job": job.id, "done": done, "total": total,
                  "label": label, "ok": ok})
 
-        if request.kind == "scenario":
-            return self._run_scenario(job, runner, on_progress)
-        return self._run_grid(job, runner, on_progress)
+        try:
+            if request.kind == "scenario":
+                return self._run_scenario(job, runner, on_progress)
+            return self._run_grid(job, runner, on_progress)
+        finally:
+            runner.close()   # a no-op for the shared distributed executor
 
     def _run_scenario(self, job: Job, runner: CampaignRunner,
                       on_progress) -> Dict[str, object]:

@@ -45,7 +45,7 @@ def spec(**overrides) -> JobSpec:
     return JobSpec(**defaults)
 
 
-def _explode(job_spec):
+def _explode(job_spec, engine=None):
     """A stand-in for execute_job that dies inside the pool worker."""
     raise RuntimeError("synthetic pool breakage")
 
@@ -349,19 +349,23 @@ class TestCampaignRunner:
     def test_pool_breakage_failures_carry_a_traceback(self, monkeypatch):
         # When the pool itself breaks (worker crash, pickling failure) the
         # synthesized JobFailure must still carry a formatted traceback, like
-        # an in-job failure would -- it is the only debugging artifact.
-        import repro.campaign.runner as runner_module
+        # an in-job failure would -- it is the only debugging artifact --
+        # plus host/last-heartbeat context locating the breakage.
+        import repro.campaign.executor as executor_module
 
-        monkeypatch.setattr(runner_module, "execute_job", _explode)
+        monkeypatch.setattr(executor_module, "execute_job", _explode)
         campaign = Campaign("broken", specs=[spec(local_size=2),
                                              spec(local_size=4)])
-        outcome = CampaignRunner(workers=2).run(campaign)
+        with CampaignRunner(workers=2) as runner:
+            outcome = runner.run(campaign)
         assert outcome.stats.failed == 2
         for failure in outcome.results:
             assert isinstance(failure, JobFailure)
             assert "synthetic pool breakage" in failure.error
             assert "RuntimeError" in failure.traceback
             assert "Traceback" in failure.traceback
+            assert failure.host, "pool breakage must name the host"
+            assert failure.last_heartbeat is not None
 
     def test_traced_jobs_bypass_cache_reads_but_seed_summaries(self, tmp_path):
         cache = ResultCache(tmp_path)

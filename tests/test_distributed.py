@@ -1,0 +1,562 @@
+"""Distributed campaigns: executor conformance, fleet fault tolerance,
+the network-served cache, and the wire protocol.
+
+The conformance suite runs the *same* assertions against every executor --
+in-process, process pool, and a distributed fleet over loopback TCP -- to
+pin the protocol's contract: one completion per task, submission-order
+folding and dedup when driven through the runner, failure isolation, and
+results bit-identical to the serial in-process path (modulo
+``elapsed_seconds``, which is wall-clock and differs between *any* two
+runs; true bit-identity including wall-clock fields is proven through the
+shared cache, exactly like the service layer's bit-for-bit test).
+
+The fleet tests use ``run_worker(..., max_tasks=N)`` -- a worker that
+silently drops its socket after N jobs, indistinguishable from SIGKILL on
+the coordinator side -- to prove the re-queue/retry path loses nothing and
+duplicates nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignRunner,
+    JobFailure,
+    JobResult,
+    JobSpec,
+    LocalExecutor,
+    ResultCache,
+)
+from repro.campaign.dist import (
+    CacheClient,
+    CacheServer,
+    Connection,
+    DistributedExecutor,
+    ProtocolError,
+    connect,
+    parse_address,
+    run_worker,
+)
+from repro.campaign.executor import ExecutorTask
+from repro.campaign.worker import execute_job
+from repro.sim.config import ArchConfig
+from repro.sim.engine import ENGINE_ENV, EngineError
+
+CONFIG = ArchConfig.from_name("2c2w4t")
+
+
+def spec(seed: int = 0, lws: int = 4, problem: str = "vecadd",
+         **overrides) -> JobSpec:
+    return JobSpec(problem=problem, scale="smoke", seed=seed, config=CONFIG,
+                   local_size=lws, **overrides)
+
+
+def stripped(outcome) -> dict:
+    """``to_dict()`` minus the one nondeterministic (wall-clock) field."""
+    payload = outcome.to_dict()
+    payload.pop("elapsed_seconds", None)
+    return payload
+
+
+def make_fleet(workers: int = 2, cache=None, worker_args=None,
+               **overrides) -> DistributedExecutor:
+    """A coordinator plus ``workers`` loopback worker threads, ready to go."""
+    options = dict(heartbeat_interval=0.2, heartbeat_timeout=3.0,
+                   worker_wait=20.0)
+    options.update(overrides)
+    executor = DistributedExecutor(cache=cache, **options)
+    worker_args = worker_args if worker_args is not None else [{}] * workers
+    for kwargs in worker_args:
+        threading.Thread(target=run_worker, args=(executor.address,),
+                         kwargs=kwargs, daemon=True).start()
+    executor.wait_for_workers(len(worker_args), timeout=20.0)
+    return executor
+
+
+# ----------------------------------------------------------------------
+# executor-protocol conformance: every executor, same contract
+# ----------------------------------------------------------------------
+@pytest.fixture(params=["local-serial", "local-pool", "dist"])
+def any_executor(request):
+    if request.param == "local-serial":
+        executor = LocalExecutor(workers=1)
+    elif request.param == "local-pool":
+        executor = LocalExecutor(workers=2)
+    else:
+        executor = make_fleet(workers=2)
+    yield executor
+    executor.close()
+
+
+class TestExecutorConformance:
+    def test_one_completion_per_task(self, any_executor):
+        tasks = [ExecutorTask(index=i, spec=spec(seed=i)) for i in range(5)]
+        completions = list(any_executor.execute(tasks))
+        assert sorted(c.index for c in completions) == list(range(5))
+        reference = {i: execute_job(spec(seed=i)) for i in range(5)}
+        for completion in completions:
+            assert isinstance(completion.outcome, JobResult)
+            assert (stripped(completion.outcome)
+                    == stripped(reference[completion.index]))
+
+    def test_runner_submission_order_and_dedup(self, any_executor):
+        specs = [spec(seed=0), spec(seed=1), spec(seed=0), spec(seed=2),
+                 spec(seed=1)]
+        runner = CampaignRunner(executor=any_executor)
+        outcome = runner.run(Campaign("conformance", specs=list(specs)))
+        assert outcome.stats.total == 5
+        assert outcome.stats.executed == 3
+        assert outcome.stats.deduplicated == 2
+        assert outcome.stats.failed == 0
+        # submission-order folding: slot i answers spec i, and duplicate
+        # submissions receive the *same* outcome object's payload
+        serial = CampaignRunner().run(Campaign("serial", specs=list(specs)))
+        for ours, reference in zip(outcome.results, serial.results):
+            assert stripped(ours) == stripped(reference)
+        assert outcome.results[0].to_dict() == outcome.results[2].to_dict()
+
+    def test_failures_are_isolated(self, any_executor):
+        specs = [spec(seed=0), spec(problem="no_such_kernel"), spec(seed=1)]
+        outcome = CampaignRunner(executor=any_executor).run(
+            Campaign("isolation", specs=specs))
+        assert outcome.stats.failed == 1
+        assert isinstance(outcome.results[0], JobResult)
+        assert isinstance(outcome.results[1], JobFailure)
+        assert "no_such_kernel" in outcome.results[1].error
+        assert isinstance(outcome.results[2], JobResult)
+
+
+# ----------------------------------------------------------------------
+# fleet fault tolerance: kill a worker mid-campaign, lose nothing
+# ----------------------------------------------------------------------
+class TestFleetFaultTolerance:
+    def test_killed_worker_mid_campaign_loses_nothing(self):
+        # Worker 0 silently drops its socket after 2 jobs (a SIGKILL, as the
+        # coordinator sees it); worker 1 must absorb the re-queued work and
+        # the campaign must complete with zero lost or duplicated results.
+        executor = make_fleet(worker_args=[{"max_tasks": 2}, {}],
+                              max_retries=2)
+        try:
+            specs = [spec(seed=seed) for seed in range(10)]
+            outcome = CampaignRunner(executor=executor).run(
+                Campaign("chaos", specs=list(specs)))
+            assert outcome.stats.total == 10
+            assert outcome.stats.failed == 0
+            assert len(outcome.results) == 10
+            serial = CampaignRunner().run(Campaign("serial", specs=list(specs)))
+            for ours, reference in zip(outcome.results, serial.results):
+                assert stripped(ours) == stripped(reference)
+        finally:
+            executor.close()
+
+    def test_retries_exhausted_carry_host_and_heartbeat(self):
+        # A fleet whose only worker dies before finishing anything: the
+        # tasks it held fail with the dead worker's identity; the tasks
+        # still queued fail once the fleet has been empty for worker_wait.
+        executor = make_fleet(worker_args=[{"max_tasks": 0}],
+                              max_retries=0, worker_wait=1.0)
+        try:
+            outcome = CampaignRunner(executor=executor).run(
+                Campaign("doomed", specs=[spec(seed=s) for s in range(4)]))
+            assert outcome.stats.failed == 4
+            died_holding = [f for f in outcome.results if f.host]
+            assert died_holding, "some failure must name the dead worker"
+            for failure in died_holding:
+                assert isinstance(failure, JobFailure)
+                assert "/pid" in failure.host
+                assert failure.last_heartbeat is not None
+                assert failure.last_heartbeat <= time.time()
+        finally:
+            executor.close()
+
+    def test_fleet_arriving_late_still_serves(self):
+        # Workers may join after execute() started: tasks wait (up to
+        # worker_wait) instead of failing fast.
+        executor = DistributedExecutor(heartbeat_interval=0.2,
+                                       worker_wait=20.0)
+        try:
+            def late_worker():
+                time.sleep(0.6)
+                run_worker(executor.address)
+            threading.Thread(target=late_worker, daemon=True).start()
+            outcome = CampaignRunner(executor=executor).run(
+                Campaign("late", specs=[spec(seed=0)]))
+            assert outcome.stats.failed == 0
+        finally:
+            executor.close()
+
+
+# ----------------------------------------------------------------------
+# worker-death error parity (both executors)
+# ----------------------------------------------------------------------
+def _die(job_spec, engine=None):  # pragma: no cover - runs in a pool worker
+    os._exit(13)
+
+
+class TestWorkerDeathParity:
+    def test_broken_pool_failures_carry_host_and_heartbeat(self, monkeypatch):
+        import repro.campaign.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "execute_job", _die)
+        executor = LocalExecutor(workers=2)
+        try:
+            tasks = [ExecutorTask(index=i, spec=spec(seed=i)) for i in range(2)]
+            completions = list(executor.execute(tasks))
+            assert len(completions) == 2
+            for completion in completions:
+                failure = completion.outcome
+                assert isinstance(failure, JobFailure)
+                assert "BrokenProcessPool" in failure.error
+                assert "Traceback" in failure.traceback
+                assert failure.host, "pool breakage must say where it ran"
+                assert failure.last_heartbeat is not None
+        finally:
+            executor.close()
+
+    def test_broken_pool_is_replaced_on_the_next_call(self, monkeypatch):
+        import repro.campaign.executor as executor_module
+
+        executor = LocalExecutor(workers=2)
+        try:
+            monkeypatch.setattr(executor_module, "execute_job", _die)
+            broken = list(executor.execute(
+                [ExecutorTask(index=i, spec=spec(seed=i)) for i in range(2)]))
+            assert all(isinstance(c.outcome, JobFailure) for c in broken)
+            monkeypatch.undo()
+            healed = list(executor.execute(
+                [ExecutorTask(index=i, spec=spec(seed=i)) for i in range(2)]))
+            assert all(isinstance(c.outcome, JobResult) for c in healed)
+        finally:
+            executor.close()
+
+
+# ----------------------------------------------------------------------
+# the shared cache over the wire
+# ----------------------------------------------------------------------
+class TestCacheServer:
+    @pytest.fixture
+    def served_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        CampaignRunner(cache=cache).run(
+            Campaign("seed", specs=[spec(seed=s) for s in range(3)]))
+        server = CacheServer(cache)
+        client = CacheClient(server.address)
+        yield cache, client
+        client.close()
+        server.close()
+
+    def test_get_many_bit_equal_to_direct_cache(self, served_cache):
+        cache, client = served_cache
+        probes = [spec(seed=0), spec(seed=99), spec(seed=2)]
+        over_wire = client.get_many(probes)
+        direct = cache.get_many(probes)
+        assert over_wire[1] is None and direct[1] is None
+        for ours, reference in zip(over_wire, direct):
+            if reference is None:
+                continue
+            assert ours.to_dict() == reference.to_dict()   # incl. wall-clock
+            assert ours.from_cache and reference.from_cache
+
+    def test_single_get_matches_too(self, served_cache):
+        cache, client = served_cache
+        assert client.get(spec(seed=1)).to_dict() == cache.get(spec(seed=1)).to_dict()
+        assert client.get(spec(seed=99)) is None
+
+    def test_put_writes_through_to_the_journal(self, served_cache, tmp_path):
+        cache, client = served_cache
+        fresh_spec = spec(seed=7)
+        result = execute_job(fresh_spec)
+        assert isinstance(result, JobResult)
+        client.put(fresh_spec, result)
+        assert cache.get(fresh_spec).to_dict() == result.to_dict()
+        # write-through: a brand-new instance over the same directory sees it
+        reloaded = ResultCache(tmp_path / "cache")
+        assert reloaded.get(fresh_spec).to_dict() == result.to_dict()
+
+    def test_bad_requests_get_error_replies_not_disconnects(self, served_cache):
+        cache, client = served_cache
+        connection = connect(CacheServer(cache).address)
+        connection.send({"type": "bogus"})
+        assert connection.recv()["type"] == "error"
+        connection.send({"type": "get", "spec": {"not": "a spec"}})
+        assert connection.recv()["type"] == "error"
+        # the connection survived both
+        connection.send({"type": "stats"})
+        assert connection.recv()["type"] == "stats"
+        connection.close()
+
+
+class TestSharedCacheAcrossTheFleet:
+    def test_fleet_results_are_cache_served_bit_identically(self, tmp_path):
+        # The service-layer bit-for-bit pattern, distributed: a fleet run
+        # seeds the shared cache; a *local* runner over the same cache must
+        # be served the identical records -- wall-clock fields included --
+        # and the journal's last-wins view must hold exactly one record per
+        # point, whichever worker computed it.
+        cache = ResultCache(tmp_path / "cache")
+        executor = make_fleet(workers=2, cache=cache)
+        specs = [spec(seed=s) for s in range(6)]
+        try:
+            fleet = CampaignRunner(cache=cache, executor=executor).run(
+                Campaign("fleet", specs=list(specs)))
+            assert fleet.stats.failed == 0
+            assert fleet.stats.executed == 6
+        finally:
+            executor.close()
+        local = CampaignRunner(cache=ResultCache(tmp_path / "cache")).run(
+            Campaign("local", specs=list(specs)))
+        assert local.stats.cache_hits == 6
+        assert local.stats.executed == 0
+        for served, computed in zip(local.results, fleet.results):
+            assert served.to_dict() == computed.to_dict()
+        # exactly-once in the journal's last-wins view
+        last_wins = {}
+        for record, _ in ResultCache(tmp_path / "cache").iter_entries():
+            last_wins[record["hash"]] = record["result"]
+        assert len(last_wins) == 6
+        for computed in fleet.results:
+            assert last_wins[computed.job_hash] == computed.to_dict()
+
+    def test_fleet_is_served_from_a_warm_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = [spec(seed=s) for s in range(4)]
+        CampaignRunner(cache=cache).run(Campaign("warm", specs=list(specs)))
+        executor = make_fleet(workers=1, cache=cache)
+        try:
+            # The runner's own cache-first resolve would answer everything
+            # before the fleet sees it; run cache-less through the runner so
+            # the *workers* must resolve against the cache server.
+            outcome = CampaignRunner(executor=executor).run(
+                Campaign("served", specs=list(specs)))
+            assert outcome.stats.failed == 0
+            reference = CampaignRunner(cache=cache).run(
+                Campaign("ref", specs=list(specs)))
+            for ours, served in zip(outcome.results, reference.results):
+                # cache-served over the wire == cache-served locally,
+                # wall-clock fields included
+                assert ours.to_dict() == served.to_dict()
+        finally:
+            executor.close()
+
+
+# ----------------------------------------------------------------------
+# fleet-vs-local on a 3-engine grid
+# ----------------------------------------------------------------------
+class TestThreeEngineGrid:
+    def test_fleet_matches_local_on_every_engine(self):
+        specs = [spec(seed=0, lws=2), spec(seed=1, lws=4),
+                 spec(seed=0, problem="saxpy")]
+        executor = make_fleet(workers=2)
+        try:
+            by_engine = {}
+            for engine in ("reference", "fast", "batch"):
+                fleet = CampaignRunner(executor=executor).run(
+                    Campaign(f"fleet-{engine}", specs=list(specs)),
+                    engine=engine)
+                local = CampaignRunner().run(
+                    Campaign(f"local-{engine}", specs=list(specs)),
+                    engine=engine)
+                assert fleet.stats.failed == 0
+                by_engine[engine] = [stripped(r) for r in fleet.results]
+                assert by_engine[engine] == [stripped(r) for r in local.results]
+            # and the engines agree with each other, distributed or not
+            assert by_engine["reference"] == by_engine["fast"]
+            assert by_engine["reference"] == by_engine["batch"]
+        finally:
+            executor.close()
+
+    def test_unknown_engine_is_rejected_before_dispatch(self):
+        with pytest.raises(EngineError, match="no_such_engine"):
+            CampaignRunner().run(Campaign("bad", specs=[spec()]),
+                                 engine="no_such_engine")
+
+
+# ----------------------------------------------------------------------
+# ResultCache.get_many (the batched cache-first resolve)
+# ----------------------------------------------------------------------
+class TestGetMany:
+    def test_matches_sequential_gets(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        CampaignRunner(cache=cache).run(
+            Campaign("seed", specs=[spec(seed=0), spec(seed=1)]))
+        batched_cache = ResultCache(tmp_path / "cache")
+        sequential_cache = ResultCache(tmp_path / "cache")
+        probes = [spec(seed=0), spec(seed=5), spec(seed=1), spec(seed=0)]
+        batched = batched_cache.get_many(probes)
+        sequential = [sequential_cache.get(probe) for probe in probes]
+        for ours, reference in zip(batched, sequential):
+            if reference is None:
+                assert ours is None
+            else:
+                assert ours.to_dict() == reference.to_dict()
+                assert ours.from_cache
+        assert batched_cache.hits == sequential_cache.hits == 3
+        assert batched_cache.misses == sequential_cache.misses == 1
+
+    def test_empty_batch(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get_many([]) == []
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_runner_resolves_through_one_batch(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        specs = [spec(seed=s) for s in range(3)]
+        CampaignRunner(cache=cache).run(Campaign("seed", specs=list(specs)))
+        calls = []
+        original = ResultCache.get_many
+
+        def counting_get_many(self, batch):
+            calls.append(len(batch))
+            return original(self, batch)
+        monkeypatch.setattr(ResultCache, "get_many", counting_get_many)
+        warm = CampaignRunner(cache=cache).run(
+            Campaign("warm", specs=list(specs)))
+        assert warm.stats.cache_hits == 3
+        assert calls == [3], "one get_many pass for the whole campaign"
+
+
+# ----------------------------------------------------------------------
+# the wire protocol itself
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_roundtrip_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        a, b = Connection(left), Connection(right)
+        message = {"type": "chunk", "tasks": [{"task": 1, "pi": 3.141592653589793}]}
+        a.send(message)
+        assert b.recv() == message
+        assert a.bytes_sent == b.bytes_received > 0
+        a.close()
+        assert b.recv() is None          # clean EOF between frames
+        b.close()
+
+    def test_floats_survive_the_wire_exactly(self):
+        left, right = socket.socketpair()
+        a, b = Connection(left), Connection(right)
+        values = [0.1, 1e-300, 2**53 - 1.0, 0.30000000000000004]
+        a.send({"values": values})
+        assert b.recv()["values"] == values
+        a.close()
+        b.close()
+
+    def test_eof_mid_frame_is_a_protocol_error(self):
+        left, right = socket.socketpair()
+        left.sendall(b"\x00\x00\x01\x00partial")   # promises 256 bytes
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            Connection(right).recv()
+
+    def test_oversized_frame_is_rejected(self):
+        left, right = socket.socketpair()
+        left.sendall(b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError, match="ceiling"):
+            Connection(right).recv()
+        left.close()
+        right.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8321") == ("127.0.0.1", 8321)
+        assert parse_address(("h", 1)) == ("h", 1)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+class TestJobFailureWire:
+    def test_round_trip(self):
+        failure = JobFailure(job_hash="h", label="l", error="e",
+                             traceback="tb", host="vm/pid7",
+                             last_heartbeat=123.5)
+        assert JobFailure.from_dict(failure.to_dict()) == failure
+        bare = JobFailure(job_hash="h", label="l", error="e")
+        assert JobFailure.from_dict(bare.to_dict()) == bare
+        assert "on vm/pid7" in failure.summary()
+
+
+# ----------------------------------------------------------------------
+# persistent local pool (satellite: no pool spin-up per shard)
+# ----------------------------------------------------------------------
+class TestPersistentLocalPool:
+    def test_pool_survives_across_execute_calls(self):
+        executor = LocalExecutor(workers=2)
+        try:
+            list(executor.execute(
+                [ExecutorTask(index=i, spec=spec(seed=i)) for i in range(2)]))
+            first_pool = executor._pool
+            assert first_pool is not None
+            list(executor.execute(
+                [ExecutorTask(index=i, spec=spec(seed=i + 2)) for i in range(2)]))
+            assert executor._pool is first_pool
+        finally:
+            executor.close()
+        assert executor._pool is None
+
+    def test_runner_shares_one_pool_across_engine_shards(self):
+        # The planner submits one campaign per engine group; the runner's
+        # executor must keep one warm pool across them.
+        with CampaignRunner(workers=2) as runner:
+            for engine in ("reference", "fast"):
+                outcome = runner.run(
+                    Campaign(engine, specs=[spec(seed=0), spec(seed=1)]),
+                    engine=engine)
+                assert outcome.stats.failed == 0
+            pool = runner.executor._pool
+            assert pool is not None
+            runner.run(Campaign("again", specs=[spec(seed=2), spec(seed=3)]),
+                       engine="batch")
+            assert runner.executor._pool is pool
+
+    def test_engine_pin_restores_the_environment(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        outcome = execute_job(spec(seed=0), engine="fast")
+        assert isinstance(outcome, JobResult)
+        assert os.environ[ENGINE_ENV] == "reference"
+        monkeypatch.delenv(ENGINE_ENV)
+        outcome = execute_job(spec(seed=0), engine="batch")
+        assert isinstance(outcome, JobResult)
+        assert ENGINE_ENV not in os.environ
+
+    def test_without_cache_borrows_the_executor(self, tmp_path):
+        runner = CampaignRunner(workers=2, cache=ResultCache(tmp_path / "c"))
+        clone = runner.without_cache()
+        assert clone.executor is runner.executor
+        clone.close()                     # must NOT shut the shared executor
+        outcome = runner.run(Campaign("alive", specs=[spec(seed=0)]))
+        assert outcome.stats.failed == 0
+        runner.close()
+
+
+# ----------------------------------------------------------------------
+# the service's distributed backend
+# ----------------------------------------------------------------------
+class TestServiceDistBackend:
+    def test_api_job_drains_through_the_fleet(self, tmp_path):
+        from repro.service.queue import JobQueue
+        from repro.service.schemas import validate_request
+        from repro.service.worker import EventBook, WorkerPool
+
+        cache = ResultCache(tmp_path / "cache")
+        executor = make_fleet(workers=1, cache=cache)
+        try:
+            queue = JobQueue(tmp_path / "service" / "jobs.jsonl")
+            pool = WorkerPool(queue, EventBook(), cache=cache,
+                              executor=executor)
+            request = validate_request({"problems": ["vecadd"],
+                                        "configs": ["2c2w4t"],
+                                        "scale": "smoke", "lws": [4]})
+            job = queue.submit(request, client="test")
+            payload = pool._execute_sync(job)
+            assert payload["stats"]["failed"] == 0
+            served = payload["results"][0]["result"]
+            # the fleet seeded the shared cache: a direct run is bit-for-bit
+            direct = CampaignRunner(cache=cache).run(request.specs())
+            assert direct.stats.cache_hits == 1
+            assert served == direct.results[0].to_dict()
+        finally:
+            executor.close()
